@@ -1,0 +1,55 @@
+// Command benchmark regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	benchmark -exp table1            # one experiment
+//	benchmark -exp all               # everything, in paper order
+//	benchmark -exp table2 -dev 120   # bound the dev examples per benchmark
+//	benchmark -list                  # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cyclesql/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
+	dev := flag.Int("dev", experiments.DefaultLimits.MaxDev, "max dev examples per benchmark (0 = all)")
+	train := flag.Int("train", experiments.DefaultLimits.MaxTrain, "max train examples for verifier training (0 = all)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs {
+			fmt.Println(id)
+		}
+		return
+	}
+	lim := experiments.DefaultLimits
+	lim.MaxDev = *dev
+	lim.MaxTrain = *train
+
+	ids := experiments.IDs
+	if *exp != "all" {
+		if _, ok := experiments.Registry[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+			os.Exit(2)
+		}
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		table, err := experiments.Registry[id](lim)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(table.String())
+		fmt.Printf("[%s regenerated in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,80 @@
+// Command cyclesql translates one natural-language question end-to-end
+// with the CycleSQL feedback loop and prints the full loop trace: every
+// candidate, its data-grounded explanation, and the verifier's verdict.
+//
+// Usage:
+//
+//	cyclesql -db world_1 -model resdsql-3b -q "How many countries are in Africa?"
+//	cyclesql -db flight_2 -q "Show all flight numbers with aircraft Airbus A340-300."
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cyclesql/internal/core"
+	"cyclesql/internal/datasets"
+	"cyclesql/internal/eval"
+	"cyclesql/internal/experiments"
+	"cyclesql/internal/nl2sql"
+)
+
+func main() {
+	dbName := flag.String("db", "world_1", "database name inside the Spider benchmark")
+	modelName := flag.String("model", "resdsql-3b", "simulated translation model ("+strings.Join(nl2sql.ModelNames(), ", ")+")")
+	question := flag.String("q", "", "natural-language question (must be a benchmark question so the simulated model can translate it)")
+	beam := flag.Int("beam", 8, "candidate beam size")
+	flag.Parse()
+
+	bench := datasets.Spider()
+	// The simulated models translate benchmark examples; find the one
+	// matching the question (or list available questions).
+	var found *datasets.Example
+	for i := range bench.Dev {
+		ex := &bench.Dev[i]
+		if ex.DBName == *dbName && (strings.EqualFold(ex.Question, *question) || *question == "") {
+			found = ex
+			break
+		}
+	}
+	if found == nil {
+		fmt.Fprintf(os.Stderr, "no benchmark question matches; questions for %s:\n", *dbName)
+		for _, ex := range bench.Dev {
+			if ex.DBName == *dbName {
+				fmt.Fprintf(os.Stderr, "  %s\n", ex.Question)
+			}
+		}
+		os.Exit(2)
+	}
+	db := bench.DB(found.DBName)
+	verifier := experiments.Verifier(experiments.DefaultLimits)
+	pipeline := core.NewPipeline(nl2sql.MustByName(*modelName), verifier, bench.Name)
+	pipeline.BeamSize = *beam
+
+	fmt.Printf("Question: %s\nDatabase: %s   Model: %s\n\n", found.Question, found.DBName, *modelName)
+	res, err := pipeline.Translate(*found, db)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for i, cand := range res.Candidates {
+		if i >= res.Iterations {
+			fmt.Printf("candidate %d (not examined): %s\n", i+1, cand.SQL)
+			continue
+		}
+		verdict := "rejected"
+		if res.Verified && i == res.Iterations-1 {
+			verdict = "VALIDATED"
+		}
+		fmt.Printf("candidate %d [%s]: %s\n", i+1, verdict, cand.SQL)
+		if i < len(res.Premises) && res.Premises[i].Explanation != "" {
+			fmt.Printf("  explanation: %s\n", res.Premises[i].Explanation)
+			fmt.Printf("  verifier score: %.3f\n", verifier.Score(found.Question, res.Premises[i]))
+		}
+	}
+	fmt.Printf("\nFinal translation (%d iterations, verified=%v):\n  %s\n", res.Iterations, res.Verified, res.FinalSQL)
+	fmt.Printf("Execution-correct vs gold: %v\n", eval.EX(db, res.Final, found.Gold))
+	fmt.Printf("Feedback-loop overhead: %s\n", res.Overhead.Round(100))
+}

@@ -1,0 +1,306 @@
+// Package annotate implements CycleSQL's semantics-enrichment stage (paper
+// §IV-B). It decomposes the translated SQL query into clause-level query
+// units and overlays each unit's operation-level semantics onto the
+// matching parts of the provenance: column-level annotations attach to a
+// provenance column, table-level annotations (aggregates over *, HAVING,
+// ORDER/LIMIT) attach to the provenance table as a whole, mirroring the
+// paper's treatment of asterisk elements.
+package annotate
+
+import (
+	"strings"
+
+	"cyclesql/internal/provenance"
+	"cyclesql/internal/sqlast"
+)
+
+// Kind classifies an annotation.
+type Kind string
+
+// Annotation kinds produced by the decomposition.
+const (
+	KindProjection Kind = "projection" // plain SELECT column
+	KindAggregate  Kind = "aggregate"  // SELECT/HAVING aggregate
+	KindFilter     Kind = "filter"     // WHERE comparison on a column
+	KindMembership Kind = "membership" // IN / NOT IN
+	KindPattern    Kind = "pattern"    // LIKE
+	KindRange      Kind = "range"      // BETWEEN
+	KindNullCheck  Kind = "nullcheck"  // IS [NOT] NULL
+	KindExists     Kind = "exists"     // EXISTS subquery
+	KindJoin       Kind = "join"       // JOIN ... ON
+	KindGroup      Kind = "group"      // GROUP BY key
+	KindHaving     Kind = "having"     // HAVING condition
+	KindOrder      Kind = "order"      // ORDER BY (+ LIMIT)
+	KindDistinct   Kind = "distinct"   // SELECT DISTINCT
+)
+
+// Annotation is one query unit's semantics, anchored to a provenance
+// column (Column non-empty) or to the whole provenance table.
+type Annotation struct {
+	Kind   Kind
+	Clause string            // source clause: SELECT, WHERE, HAVING, ...
+	Column string            // anchor column ("" = whole table)
+	Detail map[string]string // unit-specific fields (op, value, func, ...)
+}
+
+// Anchored reports whether the annotation attaches to a specific column.
+func (a Annotation) Anchored() bool { return a.Column != "" }
+
+// Annotated pairs a provenance with per-part annotation lists.
+type Annotated struct {
+	Prov  *provenance.Provenance
+	Parts [][]Annotation // parallel to Prov.Parts
+}
+
+// Annotate decomposes every core of the traced query and aligns its units
+// with the provenance parts.
+func Annotate(prov *provenance.Provenance) *Annotated {
+	out := &Annotated{Prov: prov}
+	for _, part := range prov.Parts {
+		out.Parts = append(out.Parts, decomposeCore(part.Core))
+	}
+	return out
+}
+
+// decomposeCore chunks one SELECT core into annotations, clause by clause.
+func decomposeCore(core *sqlast.SelectCore) []Annotation {
+	var anns []Annotation
+	// SELECT clause.
+	if core.Distinct {
+		anns = append(anns, Annotation{Kind: KindDistinct, Clause: "SELECT"})
+	}
+	for _, it := range core.Items {
+		if it.Star {
+			continue
+		}
+		switch x := it.Expr.(type) {
+		case *sqlast.ColumnRef:
+			anns = append(anns, Annotation{
+				Kind: KindProjection, Clause: "SELECT", Column: colName(x),
+				Detail: map[string]string{"alias": it.Alias},
+			})
+		case *sqlast.FuncCall:
+			if x.IsAggregate() {
+				anns = append(anns, aggregateAnnotation(x, "SELECT"))
+			}
+		case *sqlast.Binary:
+			// Arithmetic over aggregates (max(a) - min(a)).
+			sqlast.WalkExpr(x, func(e sqlast.Expr) bool {
+				if f, ok := e.(*sqlast.FuncCall); ok && f.IsAggregate() {
+					anns = append(anns, aggregateAnnotation(f, "SELECT"))
+				}
+				return true
+			})
+		}
+	}
+	// WHERE clause, conjunct by conjunct.
+	for _, c := range sqlast.Conjuncts(core.Where) {
+		anns = append(anns, predicateAnnotations(c, "WHERE")...)
+	}
+	// JOIN conditions.
+	if core.From != nil {
+		for _, j := range core.From.Joins {
+			if j.On == nil {
+				continue
+			}
+			if b, ok := j.On.(*sqlast.Binary); ok && b.Op == "=" {
+				l, lok := b.L.(*sqlast.ColumnRef)
+				r, rok := b.R.(*sqlast.ColumnRef)
+				if lok && rok {
+					anns = append(anns, Annotation{
+						Kind: KindJoin, Clause: "JOIN", Column: colName(l),
+						Detail: map[string]string{"left": colName(l), "right": colName(r)},
+					})
+				}
+			}
+		}
+	}
+	// GROUP BY keys.
+	for _, g := range core.GroupBy {
+		if cr, ok := g.(*sqlast.ColumnRef); ok {
+			anns = append(anns, Annotation{Kind: KindGroup, Clause: "GROUP BY", Column: colName(cr)})
+		}
+	}
+	// HAVING: aggregate conditions apply to the whole (grouped) table.
+	for _, c := range sqlast.Conjuncts(core.Having) {
+		if b, ok := c.(*sqlast.Binary); ok {
+			if f, ok := b.L.(*sqlast.FuncCall); ok && f.IsAggregate() {
+				det := map[string]string{
+					"func": strings.ToLower(f.Name),
+					"op":   b.Op,
+					"rhs":  sqlast.ExprSQL(b.R),
+				}
+				if !f.Star && len(f.Args) == 1 {
+					det["arg"] = sqlast.ExprSQL(f.Args[0])
+				}
+				anns = append(anns, Annotation{Kind: KindHaving, Clause: "HAVING", Detail: det})
+			}
+		}
+	}
+	// ORDER BY (+ LIMIT) selects representative rows; table-level.
+	for _, o := range core.OrderBy {
+		det := map[string]string{"key": sqlast.ExprSQL(o.Expr)}
+		if o.Desc {
+			det["dir"] = "descending"
+		} else {
+			det["dir"] = "ascending"
+		}
+		if core.Limit != nil {
+			det["limit"] = itoa(*core.Limit)
+		}
+		anns = append(anns, Annotation{Kind: KindOrder, Clause: "ORDER BY", Detail: det})
+	}
+	return anns
+}
+
+func aggregateAnnotation(f *sqlast.FuncCall, clause string) Annotation {
+	det := map[string]string{"func": strings.ToLower(f.Name)}
+	col := ""
+	if f.Star {
+		det["arg"] = "*"
+	} else if len(f.Args) == 1 {
+		det["arg"] = sqlast.ExprSQL(f.Args[0])
+		if cr, ok := f.Args[0].(*sqlast.ColumnRef); ok {
+			col = colName(cr)
+		}
+	}
+	if f.Distinct {
+		det["distinct"] = "true"
+	}
+	// Aggregates over * (or over a collapsed column) describe the whole
+	// provenance table rather than one element.
+	return Annotation{Kind: KindAggregate, Clause: clause, Column: col, Detail: det}
+}
+
+// predicateAnnotations maps one WHERE conjunct to annotations.
+func predicateAnnotations(c sqlast.Expr, clause string) []Annotation {
+	switch x := c.(type) {
+	case *sqlast.Binary:
+		if x.Op == "OR" {
+			// Disjunctions annotate the table with each branch.
+			var anns []Annotation
+			for _, branch := range []sqlast.Expr{x.L, x.R} {
+				for _, a := range predicateAnnotations(branch, clause) {
+					a.Detail["disjunct"] = "true"
+					anns = append(anns, a)
+				}
+			}
+			return anns
+		}
+		cr, okL := x.L.(*sqlast.ColumnRef)
+		if !okL {
+			return nil
+		}
+		det := map[string]string{"op": x.Op}
+		switch r := x.R.(type) {
+		case *sqlast.Literal:
+			det["value"] = r.Value.String()
+		case *sqlast.SubqueryExpr:
+			det["value"] = describeSub(r.Sub)
+			det["subquery"] = "true"
+		default:
+			det["value"] = sqlast.ExprSQL(x.R)
+		}
+		return []Annotation{{Kind: KindFilter, Clause: clause, Column: colName(cr), Detail: det}}
+	case *sqlast.InExpr:
+		cr, ok := x.X.(*sqlast.ColumnRef)
+		if !ok {
+			return nil
+		}
+		det := map[string]string{}
+		if x.Not {
+			det["not"] = "true"
+		}
+		if x.Sub != nil {
+			det["value"] = describeSub(x.Sub)
+			det["subquery"] = "true"
+		} else {
+			vals := make([]string, len(x.List))
+			for i, v := range x.List {
+				vals[i] = sqlast.ExprSQL(v)
+			}
+			det["value"] = strings.Join(vals, ", ")
+		}
+		return []Annotation{{Kind: KindMembership, Clause: clause, Column: colName(cr), Detail: det}}
+	case *sqlast.LikeExpr:
+		cr, ok := x.X.(*sqlast.ColumnRef)
+		if !ok {
+			return nil
+		}
+		det := map[string]string{"pattern": sqlast.ExprSQL(x.Pattern)}
+		if x.Not {
+			det["not"] = "true"
+		}
+		return []Annotation{{Kind: KindPattern, Clause: clause, Column: colName(cr), Detail: det}}
+	case *sqlast.BetweenExpr:
+		cr, ok := x.X.(*sqlast.ColumnRef)
+		if !ok {
+			return nil
+		}
+		return []Annotation{{Kind: KindRange, Clause: clause, Column: colName(cr), Detail: map[string]string{
+			"lo": sqlast.ExprSQL(x.Lo), "hi": sqlast.ExprSQL(x.Hi),
+		}}}
+	case *sqlast.IsNullExpr:
+		cr, ok := x.X.(*sqlast.ColumnRef)
+		if !ok {
+			return nil
+		}
+		det := map[string]string{}
+		if x.Not {
+			det["not"] = "true"
+		}
+		return []Annotation{{Kind: KindNullCheck, Clause: clause, Column: colName(cr), Detail: det}}
+	case *sqlast.ExistsExpr:
+		det := map[string]string{"value": describeSub(x.Sub)}
+		if x.Not {
+			det["not"] = "true"
+		}
+		return []Annotation{{Kind: KindExists, Clause: clause, Detail: det}}
+	}
+	return nil
+}
+
+// describeSub summarizes a subquery for annotation detail text: its
+// projection and its literal filters.
+func describeSub(sub *sqlast.SelectStmt) string {
+	core := sub.Cores[0]
+	var b strings.Builder
+	for i, it := range core.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.SQL())
+	}
+	fs := provenance.Filters(core)
+	if len(fs) > 0 {
+		b.WriteString(" where ")
+		for i, f := range fs {
+			if i > 0 {
+				b.WriteString(" and ")
+			}
+			b.WriteString(f.Column.Column)
+			b.WriteByte(' ')
+			b.WriteString(strings.ToLower(f.Op))
+			b.WriteByte(' ')
+			b.WriteString(f.Value.String())
+		}
+	}
+	return b.String()
+}
+
+func colName(cr *sqlast.ColumnRef) string {
+	if cr.Table != "" {
+		return cr.Table + "." + cr.Column
+	}
+	return cr.Column
+}
+
+func itoa(n int64) string {
+	if n < 0 {
+		return "-" + itoa(-n)
+	}
+	if n < 10 {
+		return string(rune('0' + n))
+	}
+	return itoa(n/10) + itoa(n%10)
+}

@@ -1,0 +1,138 @@
+package annotate
+
+import (
+	"testing"
+
+	"cyclesql/internal/datasets"
+	"cyclesql/internal/provenance"
+	"cyclesql/internal/sqleval"
+	"cyclesql/internal/sqlparse"
+)
+
+func annotateSQL(t *testing.T, sql string) []Annotation {
+	t.Helper()
+	db := datasets.FlightDB()
+	stmt := sqlparse.MustParse(sql)
+	rel, err := sqleval.New(db).Exec(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov, err := provenance.Track(db, stmt, rel, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann := Annotate(prov)
+	if len(ann.Parts) == 0 {
+		return nil
+	}
+	return ann.Parts[0]
+}
+
+func kinds(anns []Annotation) map[Kind]int {
+	out := map[Kind]int{}
+	for _, a := range anns {
+		out[a.Kind]++
+	}
+	return out
+}
+
+func TestAnnotatePaperExample(t *testing.T) {
+	anns := annotateSQL(t, "SELECT count(*) FROM flight AS T1 JOIN aircraft AS T2 ON T1.aid = T2.aid WHERE T2.name = 'Airbus A340-300'")
+	k := kinds(anns)
+	if k[KindAggregate] != 1 || k[KindFilter] != 1 || k[KindJoin] != 1 {
+		t.Fatalf("kinds = %v", k)
+	}
+	for _, a := range anns {
+		switch a.Kind {
+		case KindFilter:
+			if a.Column != "T2.name" || a.Detail["value"] != "Airbus A340-300" || a.Detail["op"] != "=" {
+				t.Fatalf("filter annotation: %+v", a)
+			}
+		case KindAggregate:
+			if a.Detail["func"] != "count" || a.Detail["arg"] != "*" || a.Anchored() {
+				t.Fatalf("aggregate annotation must be table-level: %+v", a)
+			}
+		}
+	}
+}
+
+func TestAnnotateGroupHavingOrder(t *testing.T) {
+	anns := annotateSQL(t, "SELECT origin, count(*) FROM flight GROUP BY origin HAVING count(*) > 1 ORDER BY count(*) DESC LIMIT 1")
+	k := kinds(anns)
+	if k[KindGroup] != 1 || k[KindHaving] != 1 || k[KindOrder] != 1 || k[KindProjection] != 1 {
+		t.Fatalf("kinds = %v", k)
+	}
+	for _, a := range anns {
+		if a.Kind == KindOrder {
+			if a.Detail["dir"] != "descending" || a.Detail["limit"] != "1" {
+				t.Fatalf("order detail: %v", a.Detail)
+			}
+		}
+		if a.Kind == KindHaving && a.Detail["op"] != ">" {
+			t.Fatalf("having detail: %v", a.Detail)
+		}
+	}
+}
+
+func TestAnnotateMembershipAndPattern(t *testing.T) {
+	anns := annotateSQL(t, "SELECT name FROM aircraft WHERE aid NOT IN (SELECT aid FROM flight) AND name LIKE 'B%'")
+	k := kinds(anns)
+	if k[KindMembership] != 1 || k[KindPattern] != 1 {
+		t.Fatalf("kinds = %v", k)
+	}
+	for _, a := range anns {
+		if a.Kind == KindMembership {
+			if a.Detail["not"] != "true" || a.Detail["subquery"] != "true" {
+				t.Fatalf("membership detail: %v", a.Detail)
+			}
+		}
+	}
+}
+
+func TestAnnotateDisjunction(t *testing.T) {
+	anns := annotateSQL(t, "SELECT count(*) FROM flight WHERE origin = 'Chicago' OR destination = 'Tokyo'")
+	disjuncts := 0
+	for _, a := range anns {
+		if a.Detail["disjunct"] == "true" {
+			disjuncts++
+		}
+	}
+	if disjuncts != 2 {
+		t.Fatalf("disjunct annotations = %d", disjuncts)
+	}
+}
+
+func TestAnnotateRangeAndNull(t *testing.T) {
+	anns := annotateSQL(t, "SELECT name FROM aircraft WHERE distance BETWEEN 1000 AND 5000")
+	if kinds(anns)[KindRange] != 1 {
+		t.Fatalf("range missing: %v", kinds(anns))
+	}
+	anns = annotateSQL(t, "SELECT T2.flno FROM aircraft AS T1 LEFT JOIN flight AS T2 ON T1.aid = T2.aid WHERE T2.flno IS NULL")
+	if kinds(anns)[KindNullCheck] != 1 {
+		t.Fatalf("nullcheck missing: %v", kinds(anns))
+	}
+}
+
+func TestAnnotateDistinct(t *testing.T) {
+	anns := annotateSQL(t, "SELECT DISTINCT origin FROM flight")
+	if kinds(anns)[KindDistinct] != 1 {
+		t.Fatalf("distinct missing: %v", kinds(anns))
+	}
+}
+
+func TestAnnotateCompoundParts(t *testing.T) {
+	db := datasets.WorldDB()
+	stmt := sqlparse.MustParse("SELECT name FROM country WHERE continent = 'Europe' INTERSECT SELECT name FROM country WHERE population > 1000000")
+	rel, err := sqleval.New(db).Exec(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov, err := provenance.Track(db, stmt, rel, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann := Annotate(prov)
+	if len(ann.Parts) != 2 {
+		t.Fatalf("compound annotation parts = %d", len(ann.Parts))
+	}
+}

@@ -1,0 +1,180 @@
+// Package core implements CycleSQL itself (paper Fig 3): a plug-and-play
+// iterative feedback loop around any end-to-end NL2SQL model. For each
+// candidate translation, the loop executes the SQL, tracks the provenance
+// of a sampled result tuple, enriches it with operation-level semantics,
+// generates a data-grounded NL explanation, and asks the NLI verifier
+// whether the explanation entails the original question. The first
+// candidate whose explanation validates becomes the translation; if none
+// validates, the model's top-1 candidate is returned (paper §V-A1,
+// inference settings).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"cyclesql/internal/datasets"
+	"cyclesql/internal/explain"
+	"cyclesql/internal/nl2sql"
+	"cyclesql/internal/nli"
+	"cyclesql/internal/sqlast"
+	"cyclesql/internal/sqleval"
+	"cyclesql/internal/sqltypes"
+	"cyclesql/internal/storage"
+)
+
+// Feedback generates the self-provided feedback (the premise) for one
+// candidate translation. The default is CycleSQL's data-grounded
+// explanation; the SQL2NL ablation (paper Fig 9) plugs in a query-surface
+// back-translation instead.
+type Feedback interface {
+	Name() string
+	Premise(db *storage.Database, stmt *sqlast.SelectStmt, result *sqltypes.Relation) (nli.Premise, error)
+}
+
+// DataGrounded is CycleSQL's own feedback: provenance-based explanations.
+type DataGrounded struct {
+	// Polish optionally refines explanation fluency; verification uses the
+	// raw mechanical text either way (the paper polishes only for users).
+	Polish explain.Polisher
+}
+
+// Name implements Feedback.
+func (DataGrounded) Name() string { return "cyclesql" }
+
+// Premise implements Feedback.
+func (d DataGrounded) Premise(db *storage.Database, stmt *sqlast.SelectStmt, result *sqltypes.Relation) (nli.Premise, error) {
+	e := explain.New(db)
+	e.Polish = d.Polish
+	// The paper explains one representative result tuple; the first row is
+	// the deterministic choice (training randomizes, inference does not).
+	exp, err := e.Explain(stmt, result, 0)
+	if err != nil {
+		return nli.Premise{}, err
+	}
+	return nli.Premise{
+		Explanation: exp.Text,
+		SQL:         nli.SQLOneLine(stmt.SQL()),
+		Result:      resultSnippet(result),
+	}, nil
+}
+
+// Result is the outcome of one CycleSQL translation.
+type Result struct {
+	Final      *sqlast.SelectStmt
+	FinalSQL   string
+	Verified   bool
+	Iterations int // candidates examined (paper Fig 8a)
+	Candidates []nl2sql.Candidate
+	// Premises holds the feedback generated per examined candidate, in
+	// order; Premises[i] corresponds to Candidates[i].
+	Premises []nli.Premise
+	// Overhead is the wall-clock cost of the feedback loop itself
+	// (execution + explanation + verification), excluding model inference.
+	Overhead time.Duration
+}
+
+// Pipeline wires a translation model, a feedback generator and a verifier
+// into the CycleSQL loop.
+type Pipeline struct {
+	Model     nl2sql.Model
+	Verifier  nli.Verifier
+	Feedback  Feedback
+	BeamSize  int
+	Benchmark string
+}
+
+// NewPipeline returns a pipeline with the paper's inference settings:
+// beam size 8 for Seq2seq-style models (callers lower it to 5 for
+// LLM-style models, matching the paper's API parameter).
+func NewPipeline(model nl2sql.Model, verifier nli.Verifier, benchmark string) *Pipeline {
+	return &Pipeline{
+		Model:     model,
+		Verifier:  verifier,
+		Feedback:  DataGrounded{},
+		BeamSize:  8,
+		Benchmark: benchmark,
+	}
+}
+
+// Translate runs the feedback loop for one example.
+func (p *Pipeline) Translate(ex datasets.Example, db *storage.Database) (*Result, error) {
+	if p.Model == nil || p.Verifier == nil {
+		return nil, fmt.Errorf("core: pipeline needs a model and a verifier")
+	}
+	fb := p.Feedback
+	if fb == nil {
+		fb = DataGrounded{}
+	}
+	k := p.BeamSize
+	if k <= 0 {
+		k = 8
+	}
+	candidates := p.Model.Translate(p.Benchmark, ex, db, k)
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("core: model %s produced no candidates", p.Model.Name())
+	}
+	res := &Result{Candidates: candidates}
+	start := time.Now()
+	defer func() { res.Overhead = time.Since(start) }()
+	executor := sqleval.New(db)
+	for i, cand := range candidates {
+		res.Iterations = i + 1
+		rel, err := executor.Exec(cand.Stmt)
+		if err != nil {
+			// Invalid SQL can never validate; record an empty premise and
+			// move to the next candidate.
+			res.Premises = append(res.Premises, nli.Premise{SQL: cand.SQL})
+			continue
+		}
+		premise, err := fb.Premise(db, cand.Stmt, rel)
+		if err != nil {
+			res.Premises = append(res.Premises, nli.Premise{SQL: cand.SQL})
+			continue
+		}
+		res.Premises = append(res.Premises, premise)
+		if p.Verifier.Verify(ex.Question, premise) {
+			res.Final = cand.Stmt
+			res.FinalSQL = cand.SQL
+			res.Verified = true
+			return res, nil
+		}
+	}
+	// No candidate validated: the top-1 candidate is the outcome.
+	res.Final = candidates[0].Stmt
+	res.FinalSQL = candidates[0].SQL
+	return res, nil
+}
+
+// Baseline returns the model's unassisted top-1 translation, the "Base"
+// rows of the paper's tables.
+func (p *Pipeline) Baseline(ex datasets.Example, db *storage.Database) (*sqlast.SelectStmt, error) {
+	candidates := p.Model.Translate(p.Benchmark, ex, db, 1)
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("core: model %s produced no candidates", p.Model.Name())
+	}
+	return candidates[0].Stmt, nil
+}
+
+// resultSnippet renders a compact textual form of a result relation for
+// the premise: row count plus up to the first two rows.
+func resultSnippet(rel *sqltypes.Relation) string {
+	if rel == nil {
+		return "no result"
+	}
+	out := fmt.Sprintf("%d rows", rel.NumRows())
+	limit := rel.NumRows()
+	if limit > 2 {
+		limit = 2
+	}
+	for r := 0; r < limit; r++ {
+		out += " ;"
+		for c, v := range rel.Rows[r] {
+			if c >= 4 {
+				break
+			}
+			out += " " + v.String()
+		}
+	}
+	return out
+}

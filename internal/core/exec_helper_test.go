@@ -1,0 +1,18 @@
+package core
+
+import (
+	"testing"
+
+	"cyclesql/internal/datasets"
+	"cyclesql/internal/sqleval"
+	"cyclesql/internal/sqltypes"
+)
+
+func execGold(t *testing.T, bench *datasets.Benchmark, ex datasets.Example) *sqltypes.Relation {
+	t.Helper()
+	rel, err := sqleval.New(bench.DB(ex.DBName)).Exec(ex.Gold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}

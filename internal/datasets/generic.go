@@ -1,0 +1,101 @@
+package datasets
+
+import (
+	"math/rand"
+
+	"cyclesql/internal/schema"
+	"cyclesql/internal/sqltypes"
+	"cyclesql/internal/storage"
+)
+
+// buildDomain instantiates the generic four-table shape with a domain
+// vocabulary: category dimension, main entity with a foreign key into it,
+// owner dimension, and an entity-owner junction table. All data is drawn
+// from a seeded generator so every build is reproducible.
+func buildDomain(v Vocab, seed int64) *storage.Database {
+	junction := v.EntTable + "_" + v.OwnTable
+	s := &schema.Schema{
+		Name: v.Domain,
+		Tables: []*schema.Table{
+			{Name: v.CatTable, NaturalName: v.CatNatural, Columns: []schema.Column{
+				{Name: "id", Type: sqltypes.KindInt, PrimaryKey: true, Role: "id"},
+				{Name: "name", Type: sqltypes.KindText, NaturalName: v.CatNatural + " name", Role: "name"},
+				{Name: v.CatMeasure, Type: sqltypes.KindInt, NaturalName: v.CatMeasureNatural, Role: "measure"},
+			}},
+			{Name: v.EntTable, NaturalName: v.EntNatural, Columns: []schema.Column{
+				{Name: "id", Type: sqltypes.KindInt, PrimaryKey: true, Role: "id"},
+				{Name: "name", Type: sqltypes.KindText, NaturalName: v.EntNatural + " name", Role: "name"},
+				{Name: v.FKCol, Type: sqltypes.KindInt, NaturalName: v.CatNatural, Role: "fk"},
+				{Name: v.Measure, Type: sqltypes.KindInt, NaturalName: v.MeasureNatural, Role: "measure"},
+				{Name: v.Place, Type: sqltypes.KindText, NaturalName: v.PlaceNatural, Role: "category"},
+				{Name: v.Level, Type: sqltypes.KindInt, NaturalName: v.LevelNatural, Role: "level"},
+			}},
+			{Name: v.OwnTable, NaturalName: v.OwnNatural, Columns: []schema.Column{
+				{Name: "id", Type: sqltypes.KindInt, PrimaryKey: true, Role: "id"},
+				{Name: "name", Type: sqltypes.KindText, NaturalName: v.OwnNatural + " name", Role: "name"},
+				{Name: v.OwnAttr, Type: sqltypes.KindInt, NaturalName: v.OwnAttrNatural, Role: "measure"},
+				{Name: v.OwnCat, Type: sqltypes.KindText, NaturalName: v.OwnCatNatural, Role: "category"},
+			}},
+			{Name: junction, NaturalName: v.EntNatural + " " + v.OwnNatural, Columns: []schema.Column{
+				{Name: v.EntTable + "_id", Type: sqltypes.KindInt, Role: "fk"},
+				{Name: v.OwnTable + "_id", Type: sqltypes.KindInt, Role: "fk"},
+			}},
+		},
+		ForeignKeys: []schema.ForeignKey{
+			{Table: v.EntTable, Column: v.FKCol, RefTable: v.CatTable, RefColumn: "id"},
+			{Table: junction, Column: v.EntTable + "_id", RefTable: v.EntTable, RefColumn: "id"},
+			{Table: junction, Column: v.OwnTable + "_id", RefTable: v.OwnTable, RefColumn: "id"},
+		},
+	}
+	if err := s.Validate(); err != nil {
+		panic("datasets: " + v.Domain + ": " + err.Error())
+	}
+	db := storage.NewDatabase(s)
+	rng := rand.New(rand.NewSource(seed))
+	for i, name := range v.CatNames {
+		db.MustInsert(v.CatTable,
+			sqltypes.NewInt(int64(i+1)),
+			sqltypes.NewText(name),
+			sqltypes.NewInt(randIn(rng, v.CatMeasureRange)),
+		)
+	}
+	for i, name := range v.EntNames {
+		db.MustInsert(v.EntTable,
+			sqltypes.NewInt(int64(i+1)),
+			sqltypes.NewText(name),
+			sqltypes.NewInt(int64(rng.Intn(len(v.CatNames))+1)),
+			sqltypes.NewInt(randIn(rng, v.MeasureRange)),
+			sqltypes.NewText(v.Places[rng.Intn(len(v.Places))]),
+			sqltypes.NewInt(randIn(rng, v.LevelRange)),
+		)
+	}
+	for i, name := range v.OwnNames {
+		db.MustInsert(v.OwnTable,
+			sqltypes.NewInt(int64(i+1)),
+			sqltypes.NewText(name),
+			sqltypes.NewInt(randIn(rng, v.OwnAttrRange)),
+			sqltypes.NewText(v.OwnCats[rng.Intn(len(v.OwnCats))]),
+		)
+	}
+	// Junction: one to three owners per entity, deduplicated.
+	for ei := range v.EntNames {
+		n := 1 + rng.Intn(3)
+		seen := map[int]bool{}
+		for k := 0; k < n; k++ {
+			oi := rng.Intn(len(v.OwnNames)) + 1
+			if seen[oi] {
+				continue
+			}
+			seen[oi] = true
+			db.MustInsert(junction, sqltypes.NewInt(int64(ei+1)), sqltypes.NewInt(int64(oi)))
+		}
+	}
+	return db
+}
+
+func randIn(rng *rand.Rand, r [2]int) int64 {
+	if r[1] <= r[0] {
+		return int64(r[0])
+	}
+	return int64(r[0] + rng.Intn(r[1]-r[0]+1))
+}

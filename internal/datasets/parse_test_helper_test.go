@@ -1,0 +1,17 @@
+package datasets
+
+import (
+	"testing"
+
+	"cyclesql/internal/sqlast"
+	"cyclesql/internal/sqlparse"
+)
+
+func mustParse(t *testing.T, sql string) *sqlast.SelectStmt {
+	t.Helper()
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stmt
+}

@@ -1,0 +1,476 @@
+package datasets
+
+// Vocab parameterizes the generic four-table domain builder: a category
+// (dimension) table, a main entity table referencing it, an owner
+// (person/organization) dimension, and an entity-owner junction table.
+// Every generated domain therefore supports the full question-template
+// library, while domains differ in vocabulary — mirroring Spider's
+// cross-domain setup where schemata recur structurally but never lexically.
+type Vocab struct {
+	Domain string
+
+	CatTable, CatNatural          string
+	CatNames                      []string
+	CatMeasure, CatMeasureNatural string
+	CatMeasureRange               [2]int
+
+	EntTable, EntNatural    string
+	EntNames                []string
+	FKCol                   string
+	Measure, MeasureNatural string
+	MeasureRange            [2]int
+	Place, PlaceNatural     string
+	Places                  []string
+	Level, LevelNatural     string
+	LevelRange              [2]int
+
+	OwnTable, OwnNatural    string
+	OwnNames                []string
+	OwnAttr, OwnAttrNatural string
+	OwnAttrRange            [2]int
+	OwnCat, OwnCatNatural   string
+	OwnCats                 []string
+
+	// DK maps domain-knowledge adjectives used by the Spider-DK variant to
+	// the (column, value) they denote, e.g. "domestic" -> {place, "home"}.
+	DK map[string][2]string
+	// Syn maps natural words to handpicked synonyms for Spider-Syn.
+	Syn map[string]string
+}
+
+// Shared value pools; split vocabularies draw disjoint slices.
+var (
+	peopleNames = []string{
+		"Alice Moore", "Bob Reyes", "Carla Jensen", "Derek Okafor", "Elena Petrova",
+		"Farid Nasser", "Grace Liu", "Henrik Olsen", "Ines Castillo", "Jonas Weber",
+		"Keiko Tanaka", "Liam Byrne", "Mara Silva", "Noah Fischer", "Olga Smirnova",
+		"Pedro Alves", "Qi Zhang", "Rosa Marino", "Samir Patel", "Tara Nguyen",
+		"Umar Khan", "Vera Kovacs", "Wendy Clarke", "Xavier Blanc", "Yara Haddad",
+		"Zeno Ricci", "Anya Volkov", "Bruno Costa", "Celine Dubois", "Dmitri Ivanov",
+	}
+	cityNames = []string{
+		"Springhaven", "Eastport", "Marlow", "Kingsbury", "Northfield",
+		"Silverton", "Westbrook", "Harrowgate", "Lakemont", "Ravenswood",
+		"Oakdale", "Fairview", "Brighton", "Clearwater", "Stonebridge",
+		"Mapleton", "Riverside", "Hillcrest", "Ashford", "Greenvale",
+	}
+	countryNames = []string{
+		"Arlandia", "Borovia", "Caspia", "Dravonia", "Elandor",
+		"Fenwick", "Galdora", "Hestia", "Ithara", "Jovania",
+	}
+)
+
+// seq generates "prefix N" names for entities without natural name pools.
+func seq(prefix string, n, start int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = prefix + " " + itoa(start+i)
+	}
+	return out
+}
+
+func itoa(n int) string {
+	if n < 10 {
+		return string(rune('0' + n))
+	}
+	return itoa(n/10) + itoa(n%10)
+}
+
+// trainVocabs are the 14 training domains.
+var trainVocabs = []Vocab{
+	{
+		Domain:   "airline_ops",
+		CatTable: "aircraft", CatNatural: "aircraft",
+		CatNames:   []string{"Boeing 747", "Airbus A320", "Embraer 190", "Cessna 208", "Dash 8", "ATR 72", "Boeing 777", "Airbus A350"},
+		CatMeasure: "range_km", CatMeasureNatural: "range", CatMeasureRange: [2]int{500, 9000},
+		EntTable: "flight", EntNatural: "flight",
+		EntNames: seq("Flight", 40, 100), FKCol: "aircraft_id",
+		Measure: "duration", MeasureNatural: "duration", MeasureRange: [2]int{40, 720},
+		Place: "origin", PlaceNatural: "origin", Places: cityNames[:8],
+		Level: "stops", LevelNatural: "number of stops", LevelRange: [2]int{0, 3},
+		OwnTable: "pilot", OwnNatural: "pilot",
+		OwnNames: peopleNames[:12], OwnAttr: "age", OwnAttrNatural: "age", OwnAttrRange: [2]int{28, 64},
+		OwnCat: "license", OwnCatNatural: "license", OwnCats: []string{"commercial", "private", "airline transport"},
+		DK:  map[string][2]string{"veteran": {"age", ">=50"}, "nonstop": {"stops", "=0"}},
+		Syn: map[string]string{"flight": "journey", "pilot": "aviator", "duration": "length", "origin": "departure city"},
+	},
+	{
+		Domain:   "campus_courses",
+		CatTable: "department", CatNatural: "department",
+		CatNames:   []string{"Mathematics", "Physics", "History", "Biology", "Chemistry", "Economics", "Philosophy", "Linguistics"},
+		CatMeasure: "budget", CatMeasureNatural: "budget", CatMeasureRange: [2]int{100, 900},
+		EntTable: "course", EntNatural: "course",
+		EntNames: seq("Course", 40, 200), FKCol: "dept_id",
+		Measure: "credits", MeasureNatural: "credits", MeasureRange: [2]int{1, 6},
+		Place: "building", PlaceNatural: "building", Places: cityNames[8:14],
+		Level: "year", LevelNatural: "year", LevelRange: [2]int{1, 4},
+		OwnTable: "student", OwnNatural: "student",
+		OwnNames: peopleNames[12:26], OwnAttr: "gpa", OwnAttrNatural: "gpa", OwnAttrRange: [2]int{2, 4},
+		OwnCat: "major", OwnCatNatural: "major", OwnCats: []string{"science", "arts", "engineering"},
+		DK:  map[string][2]string{"senior": {"year", "=4"}, "introductory": {"year", "=1"}},
+		Syn: map[string]string{"course": "class", "student": "pupil", "credits": "credit hours", "building": "hall"},
+	},
+	{
+		Domain:   "hospital_care",
+		CatTable: "ward", CatNatural: "ward",
+		CatNames:   []string{"Cardiology", "Neurology", "Oncology", "Pediatrics", "Orthopedics", "Radiology"},
+		CatMeasure: "beds", CatMeasureNatural: "number of beds", CatMeasureRange: [2]int{8, 60},
+		EntTable: "patient", EntNatural: "patient",
+		EntNames: peopleNames[:20], FKCol: "ward_id",
+		Measure: "stay_days", MeasureNatural: "length of stay", MeasureRange: [2]int{1, 45},
+		Place: "home_city", PlaceNatural: "home city", Places: cityNames[:6],
+		Level: "severity", LevelNatural: "severity", LevelRange: [2]int{1, 5},
+		OwnTable: "doctor", OwnNatural: "doctor",
+		OwnNames: peopleNames[20:30], OwnAttr: "experience", OwnAttrNatural: "years of experience", OwnAttrRange: [2]int{1, 35},
+		OwnCat: "specialty", OwnCatNatural: "specialty", OwnCats: []string{"surgery", "internal medicine", "emergency"},
+		DK:  map[string][2]string{"critical": {"severity", ">=4"}, "long-term": {"stay_days", ">=30"}},
+		Syn: map[string]string{"patient": "case", "doctor": "physician", "ward": "unit", "severity": "acuity"},
+	},
+	{
+		Domain:   "retail_orders",
+		CatTable: "supplier", CatNatural: "supplier",
+		CatNames:   []string{"Acme Goods", "Northwind", "Bluebird Ltd", "Crestline", "Vanta Supply", "Orchid Trade", "Summit Co"},
+		CatMeasure: "rating", CatMeasureNatural: "rating", CatMeasureRange: [2]int{1, 10},
+		EntTable: "product", EntNatural: "product",
+		EntNames: seq("Product", 36, 10), FKCol: "supplier_id",
+		Measure: "price", MeasureNatural: "price", MeasureRange: [2]int{3, 900},
+		Place: "warehouse", PlaceNatural: "warehouse", Places: cityNames[6:12],
+		Level: "stock_level", LevelNatural: "stock level", LevelRange: [2]int{0, 9},
+		OwnTable: "customer", OwnNatural: "customer",
+		OwnNames: peopleNames[5:23], OwnAttr: "loyalty_points", OwnAttrNatural: "loyalty points", OwnAttrRange: [2]int{0, 5000},
+		OwnCat: "segment", OwnCatNatural: "segment", OwnCats: []string{"consumer", "corporate", "small business"},
+		DK:  map[string][2]string{"premium": {"price", ">=500"}, "out-of-stock": {"stock_level", "=0"}},
+		Syn: map[string]string{"product": "item", "customer": "client", "price": "cost", "supplier": "vendor"},
+	},
+	{
+		Domain:   "city_library",
+		CatTable: "genre", CatNatural: "genre",
+		CatNames:   []string{"Mystery", "Biography", "Fantasy", "Science", "Poetry", "Travel", "Cooking"},
+		CatMeasure: "shelf_count", CatMeasureNatural: "shelf count", CatMeasureRange: [2]int{2, 40},
+		EntTable: "book", EntNatural: "book",
+		EntNames: seq("Volume", 40, 1), FKCol: "genre_id",
+		Measure: "pages", MeasureNatural: "number of pages", MeasureRange: [2]int{60, 1200},
+		Place: "branch", PlaceNatural: "branch", Places: cityNames[12:18],
+		Level: "edition", LevelNatural: "edition", LevelRange: [2]int{1, 6},
+		OwnTable: "member", OwnNatural: "member",
+		OwnNames: peopleNames[3:19], OwnAttr: "age", OwnAttrNatural: "age", OwnAttrRange: [2]int{8, 80},
+		OwnCat: "membership", OwnCatNatural: "membership", OwnCats: []string{"standard", "student", "senior"},
+		DK:  map[string][2]string{"lengthy": {"pages", ">=800"}, "first-edition": {"edition", "=1"}},
+		Syn: map[string]string{"book": "title", "member": "patron", "branch": "location", "pages": "page count"},
+	},
+	{
+		Domain:   "music_label",
+		CatTable: "label", CatNatural: "record label",
+		CatNames:   []string{"Neon Sound", "Harbor Records", "Moonlit", "Redbrick Audio", "Skylark", "Blue Attic"},
+		CatMeasure: "founded", CatMeasureNatural: "founded year", CatMeasureRange: [2]int{1950, 2015},
+		EntTable: "album", EntNatural: "album",
+		EntNames: seq("Album", 38, 1), FKCol: "label_id",
+		Measure: "sales", MeasureNatural: "sales", MeasureRange: [2]int{1000, 900000},
+		Place: "studio", PlaceNatural: "studio", Places: cityNames[:5],
+		Level: "disc_count", LevelNatural: "number of discs", LevelRange: [2]int{1, 4},
+		OwnTable: "artist", OwnNatural: "artist",
+		OwnNames: peopleNames[10:28], OwnAttr: "age", OwnAttrNatural: "age", OwnAttrRange: [2]int{19, 70},
+		OwnCat: "genre", OwnCatNatural: "genre", OwnCats: []string{"rock", "jazz", "electronic", "folk"},
+		DK:  map[string][2]string{"platinum": {"sales", ">=500000"}, "double": {"disc_count", ">=2"}},
+		Syn: map[string]string{"album": "record", "artist": "musician", "sales": "units sold", "label": "imprint"},
+	},
+	{
+		Domain:   "race_events",
+		CatTable: "circuit", CatNatural: "circuit",
+		CatNames:   []string{"Silver Loop", "Red Valley", "Granite Ring", "Coastal Run", "Pine Circuit", "Sun Arena"},
+		CatMeasure: "length_m", CatMeasureNatural: "track length", CatMeasureRange: [2]int{1200, 7000},
+		EntTable: "race", EntNatural: "race",
+		EntNames: seq("Race", 34, 1), FKCol: "circuit_id",
+		Measure: "laps", MeasureNatural: "number of laps", MeasureRange: [2]int{10, 78},
+		Place: "season", PlaceNatural: "season", Places: []string{"spring", "summer", "autumn", "winter"},
+		Level: "tier", LevelNatural: "tier", LevelRange: [2]int{1, 3},
+		OwnTable: "driver", OwnNatural: "driver",
+		OwnNames: peopleNames[:15], OwnAttr: "wins", OwnAttrNatural: "number of wins", OwnAttrRange: [2]int{0, 40},
+		OwnCat: "team", OwnCatNatural: "team", OwnCats: []string{"Falcon", "Meridian", "Apex", "Torrent"},
+		DK:  map[string][2]string{"endurance": {"laps", ">=60"}, "top-tier": {"tier", "=1"}},
+		Syn: map[string]string{"race": "grand prix", "driver": "racer", "laps": "circuits", "team": "crew"},
+	},
+	{
+		Domain:   "game_studio",
+		CatTable: "engine", CatNatural: "game engine",
+		CatNames:   []string{"Vortex", "Lumen", "Forge", "Pixelkit", "Orbit", "Cascade"},
+		CatMeasure: "release_year", CatMeasureNatural: "release year", CatMeasureRange: [2]int{2005, 2023},
+		EntTable: "game", EntNatural: "game",
+		EntNames: seq("Game", 36, 1), FKCol: "engine_id",
+		Measure: "revenue", MeasureNatural: "revenue", MeasureRange: [2]int{50, 9000},
+		Place: "platform", PlaceNatural: "platform", Places: []string{"PC", "console", "mobile", "web"},
+		Level: "rating", LevelNatural: "rating", LevelRange: [2]int{1, 10},
+		OwnTable: "developer", OwnNatural: "developer",
+		OwnNames: peopleNames[8:24], OwnAttr: "experience", OwnAttrNatural: "years of experience", OwnAttrRange: [2]int{1, 25},
+		OwnCat: "role", OwnCatNatural: "role", OwnCats: []string{"programmer", "designer", "producer"},
+		DK:  map[string][2]string{"acclaimed": {"rating", ">=8"}, "blockbuster": {"revenue", ">=5000"}},
+		Syn: map[string]string{"game": "title", "developer": "creator", "revenue": "earnings", "platform": "system"},
+	},
+	{
+		Domain:   "farm_market",
+		CatTable: "farm", CatNatural: "farm",
+		CatNames:   []string{"Willow Acres", "Sunrise Farm", "Cedar Hollow", "Meadowlark", "Briar Patch", "Oak Ridge Farm"},
+		CatMeasure: "acreage", CatMeasureNatural: "acreage", CatMeasureRange: [2]int{20, 800},
+		EntTable: "crop", EntNatural: "crop",
+		EntNames: []string{"Wheat", "Barley", "Oats", "Corn", "Soybean", "Rye", "Alfalfa", "Canola", "Flax", "Millet", "Sorghum", "Lentil", "Chickpea", "Potato", "Beet", "Carrot", "Onion", "Squash", "Pumpkin", "Tomato", "Pepper", "Cabbage", "Kale", "Spinach"},
+		FKCol:    "farm_id",
+		Measure:  "yield_tons", MeasureNatural: "yield", MeasureRange: [2]int{5, 400},
+		Place: "field", PlaceNatural: "field", Places: cityNames[14:19],
+		Level: "quality", LevelNatural: "quality grade", LevelRange: [2]int{1, 5},
+		OwnTable: "buyer", OwnNatural: "buyer",
+		OwnNames: peopleNames[2:18], OwnAttr: "volume", OwnAttrNatural: "purchase volume", OwnAttrRange: [2]int{10, 900},
+		OwnCat: "channel", OwnCatNatural: "channel", OwnCats: []string{"wholesale", "retail", "export"},
+		DK:  map[string][2]string{"bumper": {"yield_tons", ">=300"}, "top-grade": {"quality", "=5"}},
+		Syn: map[string]string{"crop": "harvest", "buyer": "purchaser", "yield": "output", "farm": "ranch"},
+	},
+	{
+		Domain:   "film_fest",
+		CatTable: "studio", CatNatural: "studio",
+		CatNames:   []string{"Aurora Films", "Boxcar", "Canopy", "Driftwood", "Ember Films", "Foxglove"},
+		CatMeasure: "founded", CatMeasureNatural: "founded year", CatMeasureRange: [2]int{1930, 2010},
+		EntTable: "film", EntNatural: "film",
+		EntNames: seq("Film", 38, 1), FKCol: "studio_id",
+		Measure: "runtime", MeasureNatural: "runtime", MeasureRange: [2]int{70, 210},
+		Place: "language", PlaceNatural: "language", Places: []string{"English", "French", "Japanese", "Spanish", "Korean"},
+		Level: "awards", LevelNatural: "number of awards", LevelRange: [2]int{0, 7},
+		OwnTable: "director", OwnNatural: "director",
+		OwnNames: peopleNames[14:30], OwnAttr: "age", OwnAttrNatural: "age", OwnAttrRange: [2]int{30, 75},
+		OwnCat: "nationality", OwnCatNatural: "nationality", OwnCats: countryNames[:4],
+		DK:  map[string][2]string{"epic": {"runtime", ">=180"}, "award-winning": {"awards", ">=1"}},
+		Syn: map[string]string{"film": "movie", "director": "filmmaker", "runtime": "duration", "studio": "production house"},
+	},
+	{
+		Domain:   "ship_port",
+		CatTable: "port", CatNatural: "port",
+		CatNames:   cityNames[:7],
+		CatMeasure: "docks", CatMeasureNatural: "number of docks", CatMeasureRange: [2]int{2, 30},
+		EntTable: "ship", EntNatural: "ship",
+		EntNames: seq("Vessel", 34, 1), FKCol: "port_id",
+		Measure: "tonnage", MeasureNatural: "tonnage", MeasureRange: [2]int{500, 90000},
+		Place: "flag", PlaceNatural: "flag", Places: countryNames[:6],
+		Level: "crew_size", LevelNatural: "crew size", LevelRange: [2]int{4, 40},
+		OwnTable: "captain", OwnNatural: "captain",
+		OwnNames: peopleNames[:16], OwnAttr: "experience", OwnAttrNatural: "years at sea", OwnAttrRange: [2]int{2, 45},
+		OwnCat: "rank", OwnCatNatural: "rank", OwnCats: []string{"senior", "junior", "reserve"},
+		DK:  map[string][2]string{"heavy": {"tonnage", ">=50000"}, "skeleton-crewed": {"crew_size", "<=8"}},
+		Syn: map[string]string{"ship": "vessel", "captain": "skipper", "tonnage": "weight", "port": "harbor"},
+	},
+	{
+		Domain:   "news_desk",
+		CatTable: "section", CatNatural: "section",
+		CatNames:   []string{"Politics", "Sports", "Culture", "Business", "Science", "Opinion"},
+		CatMeasure: "page_count", CatMeasureNatural: "page count", CatMeasureRange: [2]int{2, 24},
+		EntTable: "article", EntNatural: "article",
+		EntNames: seq("Story", 40, 1), FKCol: "section_id",
+		Measure: "words", MeasureNatural: "word count", MeasureRange: [2]int{200, 6000},
+		Place: "bureau", PlaceNatural: "bureau", Places: cityNames[4:10],
+		Level: "revision", LevelNatural: "revision", LevelRange: [2]int{1, 5},
+		OwnTable: "reporter", OwnNatural: "reporter",
+		OwnNames: peopleNames[7:25], OwnAttr: "awards", OwnAttrNatural: "number of awards", OwnAttrRange: [2]int{0, 12},
+		OwnCat: "beat", OwnCatNatural: "beat", OwnCats: []string{"local", "national", "foreign"},
+		DK:  map[string][2]string{"longform": {"words", ">=4000"}, "decorated": {"awards", ">=5"}},
+		Syn: map[string]string{"article": "piece", "reporter": "journalist", "section": "desk", "word count": "length"},
+	},
+	{
+		Domain:   "gym_club",
+		CatTable: "program", CatNatural: "program",
+		CatNames:   []string{"Yoga", "Spin", "Pilates", "Boxing", "Swim", "Crossfit"},
+		CatMeasure: "capacity", CatMeasureNatural: "capacity", CatMeasureRange: [2]int{8, 40},
+		EntTable: "session", EntNatural: "session",
+		EntNames: seq("Session", 36, 1), FKCol: "program_id",
+		Measure: "minutes", MeasureNatural: "duration", MeasureRange: [2]int{20, 120},
+		Place: "room", PlaceNatural: "room", Places: []string{"Studio A", "Studio B", "Pool", "Main Hall"},
+		Level: "intensity", LevelNatural: "intensity", LevelRange: [2]int{1, 5},
+		OwnTable: "trainer", OwnNatural: "trainer",
+		OwnNames: peopleNames[11:27], OwnAttr: "certifications", OwnAttrNatural: "number of certifications", OwnAttrRange: [2]int{1, 9},
+		OwnCat: "shift", OwnCatNatural: "shift", OwnCats: []string{"morning", "afternoon", "evening"},
+		DK:  map[string][2]string{"high-intensity": {"intensity", ">=4"}, "marathon": {"minutes", ">=90"}},
+		Syn: map[string]string{"session": "class", "trainer": "coach", "duration": "length", "room": "studio"},
+	},
+	{
+		Domain:   "wine_cellar",
+		CatTable: "vineyard", CatNatural: "vineyard",
+		CatNames:   []string{"Stonevine", "Golden Slope", "Larkspur", "Old Cellar", "Mistral", "Duskfield"},
+		CatMeasure: "elevation", CatMeasureNatural: "elevation", CatMeasureRange: [2]int{50, 900},
+		EntTable: "wine", EntNatural: "wine",
+		EntNames: seq("Cuvee", 34, 1), FKCol: "vineyard_id",
+		Measure: "score", MeasureNatural: "score", MeasureRange: [2]int{70, 100},
+		Place: "region", PlaceNatural: "region", Places: countryNames[4:9],
+		Level: "vintage_age", LevelNatural: "age", LevelRange: [2]int{1, 30},
+		OwnTable: "critic", OwnNatural: "critic",
+		OwnNames: peopleNames[4:20], OwnAttr: "reviews", OwnAttrNatural: "number of reviews", OwnAttrRange: [2]int{5, 400},
+		OwnCat: "publication", OwnCatNatural: "publication", OwnCats: []string{"Wine Weekly", "Cellar Notes", "The Pour"},
+		DK:  map[string][2]string{"outstanding": {"score", ">=95"}, "aged": {"vintage_age", ">=15"}},
+		Syn: map[string]string{"wine": "bottle", "critic": "reviewer", "score": "rating", "region": "area"},
+	},
+}
+
+// devVocabs are the five dev-split domains (plus the hand-written world_1
+// and flight_2 databases added in buildSpider).
+var devVocabs = []Vocab{
+	{
+		Domain:   "concert_hall",
+		CatTable: "stadium", CatNatural: "stadium",
+		CatNames:   []string{"Grand Dome", "Riverside Arena", "Echo Hall", "Summit Pavilion", "Ironworks", "Harbor Stage"},
+		CatMeasure: "capacity", CatMeasureNatural: "capacity", CatMeasureRange: [2]int{800, 60000},
+		EntTable: "concert", EntNatural: "concert",
+		EntNames: seq("Concert", 36, 1), FKCol: "stadium_id",
+		Measure: "attendance", MeasureNatural: "attendance", MeasureRange: [2]int{300, 58000},
+		Place: "month", PlaceNatural: "month", Places: []string{"January", "April", "July", "October"},
+		Level: "acts", LevelNatural: "number of acts", LevelRange: [2]int{1, 6},
+		OwnTable: "singer", OwnNatural: "singer",
+		OwnNames: peopleNames[:18], OwnAttr: "age", OwnAttrNatural: "age", OwnAttrRange: [2]int{18, 65},
+		OwnCat: "country", OwnCatNatural: "country", OwnCats: countryNames[:5],
+		DK:  map[string][2]string{"sold-out": {"attendance", ">=50000"}, "veteran": {"age", ">=50"}},
+		Syn: map[string]string{"concert": "show", "singer": "vocalist", "attendance": "turnout", "stadium": "venue"},
+	},
+	{
+		Domain:   "pet_clinic",
+		CatTable: "breed", CatNatural: "breed",
+		CatNames:   []string{"Labrador", "Siamese", "Beagle", "Persian", "Terrier", "Sphynx", "Collie"},
+		CatMeasure: "avg_lifespan", CatMeasureNatural: "average lifespan", CatMeasureRange: [2]int{8, 20},
+		EntTable: "pet", EntNatural: "pet",
+		EntNames: []string{"Rex", "Whiskers", "Buddy", "Luna", "Max", "Bella", "Charlie", "Daisy", "Rocky", "Molly", "Duke", "Sadie", "Teddy", "Ruby", "Oscar", "Rosie", "Milo", "Zoe", "Jack", "Lily", "Toby", "Coco", "Finn", "Nala", "Leo", "Penny", "Gus", "Hazel", "Ollie", "Pearl"},
+		FKCol:    "breed_id",
+		Measure:  "weight", MeasureNatural: "weight", MeasureRange: [2]int{2, 60},
+		Place: "color", PlaceNatural: "color", Places: []string{"black", "white", "brown", "golden", "gray"},
+		Level: "age", LevelNatural: "age", LevelRange: [2]int{1, 15},
+		OwnTable: "owner", OwnNatural: "owner",
+		OwnNames: peopleNames[12:30], OwnAttr: "visits", OwnAttrNatural: "number of visits", OwnAttrRange: [2]int{1, 20},
+		OwnCat: "city", OwnCatNatural: "city", OwnCats: cityNames[:5],
+		DK:  map[string][2]string{"heavy": {"weight", ">=40"}, "senior": {"age", ">=10"}},
+		Syn: map[string]string{"pet": "animal", "owner": "keeper", "weight": "mass", "breed": "kind"},
+	},
+	{
+		Domain:   "tech_startup",
+		CatTable: "investor", CatNatural: "investor",
+		CatNames:   []string{"Alpha Fund", "Beacon Capital", "Crestview", "Delta Ventures", "Evergreen", "Foundry One"},
+		CatMeasure: "fund_size", CatMeasureNatural: "fund size", CatMeasureRange: [2]int{50, 2000},
+		EntTable: "startup", EntNatural: "startup",
+		EntNames: seq("Startup", 34, 1), FKCol: "investor_id",
+		Measure: "valuation", MeasureNatural: "valuation", MeasureRange: [2]int{1, 950},
+		Place: "sector", PlaceNatural: "sector", Places: []string{"fintech", "health", "logistics", "media"},
+		Level: "employees", LevelNatural: "number of employees", LevelRange: [2]int{2, 250},
+		OwnTable: "founder", OwnNatural: "founder",
+		OwnNames: peopleNames[6:24], OwnAttr: "age", OwnAttrNatural: "age", OwnAttrRange: [2]int{22, 58},
+		OwnCat: "background", OwnCatNatural: "background", OwnCats: []string{"engineering", "design", "sales"},
+		DK:  map[string][2]string{"unicorn": {"valuation", ">=900"}, "lean": {"employees", "<=10"}},
+		Syn: map[string]string{"startup": "company", "founder": "entrepreneur", "valuation": "worth", "sector": "industry"},
+	},
+	{
+		Domain:   "museum_visit",
+		CatTable: "museum", CatNatural: "museum",
+		CatNames:   []string{"City Gallery", "Natural History Hall", "Maritime Museum", "Modern Arts House", "Heritage Center", "Science Dome"},
+		CatMeasure: "num_staff", CatMeasureNatural: "number of staff", CatMeasureRange: [2]int{5, 120},
+		EntTable: "exhibit", EntNatural: "exhibit",
+		EntNames: seq("Exhibit", 34, 1), FKCol: "museum_id",
+		Measure: "visitors", MeasureNatural: "number of visitors", MeasureRange: [2]int{100, 40000},
+		Place: "theme", PlaceNatural: "theme", Places: []string{"ancient", "modern", "interactive", "photography"},
+		Level: "rooms", LevelNatural: "number of rooms", LevelRange: [2]int{1, 8},
+		OwnTable: "curator", OwnNatural: "curator",
+		OwnNames: peopleNames[1:17], OwnAttr: "tenure", OwnAttrNatural: "tenure", OwnAttrRange: [2]int{1, 30},
+		OwnCat: "specialty", OwnCatNatural: "specialty", OwnCats: []string{"painting", "sculpture", "archaeology"},
+		DK:  map[string][2]string{"blockbuster": {"visitors", ">=30000"}, "compact": {"rooms", "<=2"}},
+		Syn: map[string]string{"exhibit": "exhibition", "curator": "keeper", "visitors": "attendance", "museum": "gallery"},
+	},
+	{
+		Domain:   "cargo_rail",
+		CatTable: "line", CatNatural: "rail line",
+		CatNames:   []string{"Northern Line", "Coastal Line", "Mountain Line", "Central Line", "Valley Line"},
+		CatMeasure: "track_km", CatMeasureNatural: "track length", CatMeasureRange: [2]int{80, 2200},
+		EntTable: "train", EntNatural: "train",
+		EntNames: seq("Train", 34, 400), FKCol: "line_id",
+		Measure: "cargo_tons", MeasureNatural: "cargo weight", MeasureRange: [2]int{50, 4000},
+		Place: "depot", PlaceNatural: "depot", Places: cityNames[10:16],
+		Level: "cars", LevelNatural: "number of cars", LevelRange: [2]int{4, 60},
+		OwnTable: "operator", OwnNatural: "operator",
+		OwnNames: peopleNames[13:29], OwnAttr: "shifts", OwnAttrNatural: "number of shifts", OwnAttrRange: [2]int{10, 300},
+		OwnCat: "grade", OwnCatNatural: "grade", OwnCats: []string{"chief", "standard", "trainee"},
+		DK:  map[string][2]string{"heavy-haul": {"cargo_tons", ">=3000"}, "short": {"cars", "<=10"}},
+		Syn: map[string]string{"train": "service", "operator": "engineer", "depot": "yard", "cargo weight": "load"},
+	},
+}
+
+// testVocabs are the five held-out test-split domains.
+var testVocabs = []Vocab{
+	{
+		Domain:   "bank_branch",
+		CatTable: "branch", CatNatural: "branch",
+		CatNames:   cityNames[5:11],
+		CatMeasure: "assets", CatMeasureNatural: "assets", CatMeasureRange: [2]int{100, 5000},
+		EntTable: "account", EntNatural: "account",
+		EntNames: seq("Account", 36, 7000), FKCol: "branch_id",
+		Measure: "balance", MeasureNatural: "balance", MeasureRange: [2]int{10, 90000},
+		Place: "type", PlaceNatural: "account type", Places: []string{"checking", "savings", "business"},
+		Level: "years_open", LevelNatural: "years open", LevelRange: [2]int{1, 30},
+		OwnTable: "client", OwnNatural: "client",
+		OwnNames: peopleNames[:20], OwnAttr: "credit_score", OwnAttrNatural: "credit score", OwnAttrRange: [2]int{450, 850},
+		OwnCat: "tier", OwnCatNatural: "tier", OwnCats: []string{"gold", "silver", "basic"},
+		DK:  map[string][2]string{"wealthy": {"balance", ">=50000"}, "creditworthy": {"credit_score", ">=700"}},
+		Syn: map[string]string{"account": "deposit account", "client": "customer", "balance": "funds", "branch": "office"},
+	},
+	{
+		Domain:   "orchard_co",
+		CatTable: "orchard", CatNatural: "orchard",
+		CatNames:   []string{"Apple Hill", "Pearwood", "Cherry Vale", "Plum Hollow", "Quince End"},
+		CatMeasure: "trees", CatMeasureNatural: "number of trees", CatMeasureRange: [2]int{100, 5000},
+		EntTable: "harvest", EntNatural: "harvest",
+		EntNames: seq("Batch", 32, 1), FKCol: "orchard_id",
+		Measure: "kilograms", MeasureNatural: "weight", MeasureRange: [2]int{50, 8000},
+		Place: "fruit", PlaceNatural: "fruit", Places: []string{"apple", "pear", "cherry", "plum"},
+		Level: "grade", LevelNatural: "grade", LevelRange: [2]int{1, 4},
+		OwnTable: "picker", OwnNatural: "picker",
+		OwnNames: peopleNames[9:27], OwnAttr: "speed", OwnAttrNatural: "picking speed", OwnAttrRange: [2]int{10, 90},
+		OwnCat: "contract", OwnCatNatural: "contract", OwnCats: []string{"seasonal", "permanent"},
+		DK:  map[string][2]string{"bumper": {"kilograms", ">=6000"}, "premium": {"grade", "=1"}},
+		Syn: map[string]string{"harvest": "crop", "picker": "worker", "weight": "mass", "orchard": "grove"},
+	},
+	{
+		Domain:   "ski_resort",
+		CatTable: "resort", CatNatural: "resort",
+		CatNames:   []string{"Glacier Peak", "Powder Ridge", "Snowmere", "Alpine Crest", "Frostholm"},
+		CatMeasure: "altitude", CatMeasureNatural: "altitude", CatMeasureRange: [2]int{900, 3400},
+		EntTable: "slope", EntNatural: "slope",
+		EntNames: seq("Run", 32, 1), FKCol: "resort_id",
+		Measure: "length_m", MeasureNatural: "length", MeasureRange: [2]int{300, 6000},
+		Place: "difficulty", PlaceNatural: "difficulty", Places: []string{"green", "blue", "red", "black"},
+		Level: "lifts", LevelNatural: "number of lifts", LevelRange: [2]int{1, 5},
+		OwnTable: "instructor", OwnNatural: "instructor",
+		OwnNames: peopleNames[3:21], OwnAttr: "seasons", OwnAttrNatural: "number of seasons", OwnAttrRange: [2]int{1, 25},
+		OwnCat: "language", OwnCatNatural: "language", OwnCats: []string{"English", "French", "German"},
+		DK:  map[string][2]string{"expert-only": {"difficulty", "=black"}, "long": {"length_m", ">=4000"}},
+		Syn: map[string]string{"slope": "run", "instructor": "teacher", "length": "distance", "resort": "station"},
+	},
+	{
+		Domain:   "courier_hub",
+		CatTable: "hub", CatNatural: "hub",
+		CatNames:   cityNames[2:8],
+		CatMeasure: "throughput", CatMeasureNatural: "daily throughput", CatMeasureRange: [2]int{500, 20000},
+		EntTable: "parcel", EntNatural: "parcel",
+		EntNames: seq("Parcel", 36, 30000), FKCol: "hub_id",
+		Measure: "weight_g", MeasureNatural: "weight", MeasureRange: [2]int{50, 30000},
+		Place: "service", PlaceNatural: "service", Places: []string{"express", "standard", "economy"},
+		Level: "priority", LevelNatural: "priority", LevelRange: [2]int{1, 3},
+		OwnTable: "courier", OwnNatural: "courier",
+		OwnNames: peopleNames[5:23], OwnAttr: "deliveries", OwnAttrNatural: "number of deliveries", OwnAttrRange: [2]int{50, 8000},
+		OwnCat: "vehicle", OwnCatNatural: "vehicle", OwnCats: []string{"bike", "van", "truck"},
+		DK:  map[string][2]string{"bulky": {"weight_g", ">=20000"}, "urgent": {"priority", "=1"}},
+		Syn: map[string]string{"parcel": "package", "courier": "carrier", "weight": "mass", "hub": "depot"},
+	},
+	{
+		Domain:   "observatory",
+		CatTable: "telescope", CatNatural: "telescope",
+		CatNames:   []string{"Borealis", "Zenith-2", "Meridian Array", "Corona Scope", "Umbra"},
+		CatMeasure: "aperture_cm", CatMeasureNatural: "aperture", CatMeasureRange: [2]int{20, 1000},
+		EntTable: "observation", EntNatural: "observation",
+		EntNames: seq("Obs", 34, 1), FKCol: "telescope_id",
+		Measure: "exposure", MeasureNatural: "exposure time", MeasureRange: [2]int{1, 600},
+		Place: "target_type", PlaceNatural: "target type", Places: []string{"galaxy", "nebula", "star cluster", "planet"},
+		Level: "clarity", LevelNatural: "clarity", LevelRange: [2]int{1, 5},
+		OwnTable: "astronomer", OwnNatural: "astronomer",
+		OwnNames: peopleNames[8:26], OwnAttr: "papers", OwnAttrNatural: "number of papers", OwnAttrRange: [2]int{0, 120},
+		OwnCat: "institute", OwnCatNatural: "institute", OwnCats: []string{"Lakeside Institute", "Polar Academy", "Meridian Lab"},
+		DK:  map[string][2]string{"deep-sky": {"exposure", ">=300"}, "prolific": {"papers", ">=50"}},
+		Syn: map[string]string{"observation": "session", "astronomer": "scientist", "exposure time": "integration time", "telescope": "instrument"},
+	},
+}

@@ -1,0 +1,395 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"cyclesql/internal/core"
+	"cyclesql/internal/datasets"
+	"cyclesql/internal/eval"
+	"cyclesql/internal/explain"
+	"cyclesql/internal/nl2sql"
+	"cyclesql/internal/nli"
+	"cyclesql/internal/sql2nl"
+	"cyclesql/internal/sqleval"
+	"cyclesql/internal/sqlnorm"
+	"cyclesql/internal/userstudy"
+)
+
+// Fig1 reproduces Fig 1: translation accuracy (any-beam-match EX) on the
+// Spider dev split as the beam size (or chat-completion count) grows.
+func Fig1(lim Limits) (*Table, error) {
+	bench := datasets.Spider()
+	dev := devSlice(bench, lim)
+	models := []string{"picard-3b", "resdsql-large", "gpt-3.5-turbo", "dail-sql"}
+	t := &Table{
+		Title:   "Fig 1: accuracy vs beam size (any-beam EX, Spider dev)",
+		Headers: []string{"k=1", "k=2", "k=3", "k=4", "k=5"},
+	}
+	for _, name := range models {
+		model := nl2sql.MustByName(name)
+		row := Row{Label: name}
+		for k := 1; k <= 5; k++ {
+			hit := 0
+			for _, ex := range dev {
+				db := bench.DB(ex.DBName)
+				for _, cand := range model.Translate(bench.Name, ex, db, k) {
+					if eval.EX(db, cand.Stmt, ex.Gold) {
+						hit++
+						break
+					}
+				}
+			}
+			row.Values = append(row.Values, pct(100*float64(hit)/float64(len(dev))))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Table1Benchmarks lists the evaluation benchmarks in paper order.
+var Table1Benchmarks = []string{"spider", "spider-realistic", "spider-syn", "spider-dk", "science"}
+
+// Table1Models lists the model rows in paper order.
+var Table1Models = []string{
+	"smbop", "picard-3b", "resdsql-large", "resdsql-3b",
+	"gpt-3.5-turbo", "gpt-4", "chess", "dail-sql",
+}
+
+// Table1 reproduces Table I: EM/EX/TS for every model, base vs +CycleSQL,
+// across the five benchmarks, with the verifier frozen from Spider.
+func Table1(lim Limits) (*Table, error) {
+	verifier := Verifier(lim)
+	t := &Table{
+		Title:   "Table I: overall translation results (EM/EX/TS %), base vs +CycleSQL",
+		Headers: []string{"benchmark", "variant", "EM", "EX", "TS"},
+	}
+	for _, benchName := range Table1Benchmarks {
+		bench, err := datasets.ByName(benchName)
+		if err != nil {
+			return nil, err
+		}
+		for _, model := range Table1Models {
+			ps, err := EvaluateModel(bench, model, verifier, lim)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows,
+				Row{Label: model, Values: []string{benchName, "base",
+					pct(ps.Base.EM), pct(ps.Base.EX), pct(ps.Base.TS)}},
+				Row{Label: model, Values: []string{benchName, "+cyclesql",
+					delta(ps.Loop.EM, ps.Base.EM), delta(ps.Loop.EX, ps.Base.EX), delta(ps.Loop.TS, ps.Base.TS)}},
+			)
+		}
+	}
+	return t, nil
+}
+
+// Table2 reproduces Table II: Spider dev EX broken down by difficulty.
+func Table2(lim Limits) (*Table, error) {
+	verifier := Verifier(lim)
+	bench := datasets.Spider()
+	dev := devSlice(bench, lim)
+	t := &Table{
+		Title:   "Table II: execution accuracy (%) by SQL difficulty (Spider dev)",
+		Headers: []string{"variant", "easy", "medium", "hard", "extra"},
+	}
+	for _, modelName := range Table1Models {
+		model := nl2sql.MustByName(modelName)
+		p := core.NewPipeline(model, verifier, bench.Name)
+		if isLLM(modelName) {
+			p.BeamSize = 5
+		}
+		type bucket struct{ baseOK, loopOK, n int }
+		buckets := map[sqlnorm.Difficulty]*bucket{}
+		for _, d := range sqlnorm.Difficulties {
+			buckets[d] = &bucket{}
+		}
+		for _, ex := range dev {
+			db := bench.DB(ex.DBName)
+			bk := buckets[ex.Difficulty]
+			bk.n++
+			base, err := p.Baseline(ex, db)
+			if err != nil {
+				return nil, err
+			}
+			if eval.EX(db, base, ex.Gold) {
+				bk.baseOK++
+			}
+			res, err := p.Translate(ex, db)
+			if err != nil {
+				return nil, err
+			}
+			if eval.EX(db, res.Final, ex.Gold) {
+				bk.loopOK++
+			}
+		}
+		baseRow := Row{Label: modelName, Values: []string{"base"}}
+		loopRow := Row{Label: modelName, Values: []string{"+cyclesql"}}
+		for _, d := range sqlnorm.Difficulties {
+			bk := buckets[d]
+			if bk.n == 0 {
+				baseRow.Values = append(baseRow.Values, "-")
+				loopRow.Values = append(loopRow.Values, "-")
+				continue
+			}
+			base := 100 * float64(bk.baseOK) / float64(bk.n)
+			loop := 100 * float64(bk.loopOK) / float64(bk.n)
+			baseRow.Values = append(baseRow.Values, pct(base))
+			loopRow.Values = append(loopRow.Values, delta(loop, base))
+		}
+		t.Rows = append(t.Rows, baseRow, loopRow)
+	}
+	return t, nil
+}
+
+// Fig8aModels are the models whose iteration counts the paper reports.
+var Fig8aModels = []string{"smbop", "picard-3b", "resdsql-large", "resdsql-3b", "gpt-3.5-turbo"}
+
+// Fig8a reproduces Fig 8a: average CycleSQL iterations on Spider dev.
+func Fig8a(lim Limits) (*Table, error) {
+	verifier := Verifier(lim)
+	bench := datasets.Spider()
+	t := &Table{
+		Title:   "Fig 8a: average iterations of CycleSQL (Spider dev)",
+		Headers: []string{"avg iterations"},
+	}
+	for _, modelName := range Fig8aModels {
+		ps, err := EvaluateModel(bench, modelName, verifier, lim)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{Label: modelName, Values: []string{fmt.Sprintf("%.2f", ps.AvgIterations)}})
+	}
+	return t, nil
+}
+
+// Fig8bModels are the latency-comparison models (the paper omits PICARD,
+// whose token-level constrained decoding is orders slower).
+var Fig8bModels = []string{"smbop", "resdsql-large", "resdsql-3b", "gpt-3.5-turbo"}
+
+// Fig8b reproduces Fig 8b: average inference time with and without
+// CycleSQL. Model inference latency is the documented per-model constant
+// (GPU wall-clock is unavailable offline); the CycleSQL overhead is the
+// measured wall-clock of the real feedback loop.
+func Fig8b(lim Limits) (*Table, error) {
+	verifier := Verifier(lim)
+	bench := datasets.Spider()
+	t := &Table{
+		Title:   "Fig 8b: average model inference time (ms), base vs +CycleSQL",
+		Headers: []string{"base (ms)", "+cyclesql (ms)", "overhead (ms)"},
+	}
+	for _, modelName := range Fig8bModels {
+		ps, err := EvaluateModel(bench, modelName, verifier, lim)
+		if err != nil {
+			return nil, err
+		}
+		base := float64(nl2sql.MustByName(modelName).BaseLatency()) / float64(time.Millisecond)
+		t.Rows = append(t.Rows, Row{Label: modelName, Values: []string{
+			fmt.Sprintf("%.0f", base),
+			fmt.Sprintf("%.1f", base+ps.AvgOverheadMS),
+			fmt.Sprintf("%.2f", ps.AvgOverheadMS),
+		}})
+	}
+	return t, nil
+}
+
+// Fig9Benchmarks are the four Spider-family benchmarks of the ablation.
+var Fig9Benchmarks = []string{"spider", "spider-realistic", "spider-syn", "spider-dk"}
+
+// Fig9 reproduces Fig 9: EX with CycleSQL feedback vs the simpler SQL2NL
+// feedback, on RESDSQL-Large and GPT-3.5-turbo. The SQL2NL arm trains its
+// own verifier on SQL2NL premises under identical settings (paper §V-A4).
+func Fig9(lim Limits) (*Table, error) {
+	spider := datasets.Spider()
+	cycleVerifier := Verifier(lim)
+	sql2nlVerifier := core.TrainVerifier(spider,
+		core.TrainDataConfig{Models: lim.TrainModels, MaxExamples: lim.MaxTrain, Seed: 1, Feedback: core.SQL2NLFeedback{}},
+		nli.TrainConfig{Seed: 2},
+	)
+	t := &Table{
+		Title:   "Fig 9: feedback-quality ablation, EX (%)",
+		Headers: []string{"benchmark", "base", "+cyclesql", "+sql2nl"},
+	}
+	for _, modelName := range []string{"resdsql-large", "gpt-3.5-turbo"} {
+		for _, benchName := range Fig9Benchmarks {
+			bench, err := datasets.ByName(benchName)
+			if err != nil {
+				return nil, err
+			}
+			model := nl2sql.MustByName(modelName)
+			dev := devSlice(bench, lim)
+			var baseOK, cycleOK, sqlOK int
+			pc := core.NewPipeline(model, cycleVerifier, bench.Name)
+			psq := core.NewPipeline(model, sql2nlVerifier, bench.Name)
+			psq.Feedback = core.SQL2NLFeedback{}
+			if isLLM(modelName) {
+				pc.BeamSize, psq.BeamSize = 5, 5
+			}
+			for _, ex := range dev {
+				db := bench.DB(ex.DBName)
+				base, err := pc.Baseline(ex, db)
+				if err != nil {
+					return nil, err
+				}
+				if eval.EX(db, base, ex.Gold) {
+					baseOK++
+				}
+				rc, err := pc.Translate(ex, db)
+				if err != nil {
+					return nil, err
+				}
+				if eval.EX(db, rc.Final, ex.Gold) {
+					cycleOK++
+				}
+				rs, err := psq.Translate(ex, db)
+				if err != nil {
+					return nil, err
+				}
+				if eval.EX(db, rs.Final, ex.Gold) {
+					sqlOK++
+				}
+			}
+			n := float64(len(dev))
+			t.Rows = append(t.Rows, Row{Label: modelName, Values: []string{
+				benchName, pct(100 * float64(baseOK) / n),
+				pct(100 * float64(cycleOK) / n), pct(100 * float64(sqlOK) / n),
+			}})
+		}
+	}
+	return t, nil
+}
+
+// Table3 reproduces Table III: verifier-selection ablation on RESDSQL-3B.
+func Table3(lim Limits) (*Table, error) {
+	bench := datasets.Spider()
+	dev := devSlice(bench, lim)
+	verifiers := []nli.Verifier{
+		Verifier(lim),
+		nli.FewShotLLM{},
+		nli.PrebuiltNLI{},
+		core.OracleVerifier(bench, core.IndexByQuestion(dev)),
+	}
+	t := &Table{
+		Title:   "Table III: translation results of different verifier selections (Spider dev, RESDSQL-3B)",
+		Headers: []string{"EM", "EX", "TS"},
+	}
+	base, err := EvaluateModel(bench, "resdsql-3b", verifiers[0], lim)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, Row{Label: "base model", Values: []string{
+		pct(base.Base.EM), pct(base.Base.EX), pct(base.Base.TS)}})
+	labels := []string{"+cyclesql", "+cyclesql (llm verifier)", "+cyclesql (prebuilt nli)", "+cyclesql (oracle verifier)"}
+	for i, v := range verifiers {
+		ps, err := EvaluateModel(bench, "resdsql-3b", v, lim)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{Label: labels[i], Values: []string{
+			delta(ps.Loop.EM, ps.Base.EM), delta(ps.Loop.EX, ps.Base.EX), delta(ps.Loop.TS, ps.Base.TS)}})
+	}
+	return t, nil
+}
+
+// caseStudyIDs are the Table IV queries (the first five world_1 pairs).
+const caseStudyCount = 5
+
+// Table4 reproduces Table IV: case-study explanations for the five
+// world_1 queries, polished for readability as in the paper.
+func Table4(Limits) (*Table, error) {
+	bench := datasets.Spider()
+	db := bench.DB("world_1")
+	t := &Table{
+		Title:   "Table IV: NL explanations produced by CycleSQL (world_1)",
+		Headers: []string{"question / explanation"},
+	}
+	e := explain.New(db)
+	e.Polish = explain.RulePolisher{}
+	count := 0
+	for _, ex := range bench.Dev {
+		if ex.DBName != "world_1" || count >= caseStudyCount {
+			continue
+		}
+		count++
+		rel, err := sqleval.New(db).Exec(ex.Gold)
+		if err != nil {
+			return nil, err
+		}
+		exp, err := e.Explain(ex.Gold, rel, 0)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows,
+			Row{Label: fmt.Sprintf("Q%d", count), Values: []string{ex.Question}},
+			Row{Label: "", Values: []string{exp.Text}},
+		)
+	}
+	return t, nil
+}
+
+// Fig10 reproduces Fig 10: the simulated user study over the five Table IV
+// queries, CycleSQL explanations vs the simpler GPT-3.5-style (SQL2NL)
+// explanations, on the paper's two dimensions plus overall ratings.
+func Fig10(Limits) (*Table, error) {
+	bench := datasets.Spider()
+	db := bench.DB("world_1")
+	e := explain.New(db)
+	e.Polish = explain.RulePolisher{}
+	t := &Table{
+		Title:   "Fig 10: simulated user study (mean 1-10 ratings, 20 raters)",
+		Headers: []string{"dimension", "gpt-3.5 style", "cyclesql", "prefer cyclesql"},
+	}
+	count := 0
+	for _, ex := range bench.Dev {
+		if ex.DBName != "world_1" || count >= caseStudyCount {
+			continue
+		}
+		count++
+		rel, err := sqleval.New(db).Exec(ex.Gold)
+		if err != nil {
+			return nil, err
+		}
+		exp, err := e.Explain(ex.Gold, rel, 0)
+		if err != nil {
+			return nil, err
+		}
+		resultText := ""
+		if rel.NumRows() > 0 {
+			for _, v := range rel.Rows[0] {
+				resultText += v.String() + " "
+			}
+		}
+		cycleItem := userstudy.Item{Question: ex.Question, Result: resultText, Explanation: exp.Text}
+		simpleItem := userstudy.Item{Question: ex.Question, Result: resultText, Explanation: sql2nl.Describe(db.Schema, ex.Gold)}
+		seed := int64(1000 + count)
+		for _, dim := range []userstudy.Dimension{userstudy.Interpretability, userstudy.Entailment, userstudy.Overall} {
+			rc := userstudy.Score(cycleItem, dim, seed)
+			rs := userstudy.Score(simpleItem, dim, seed)
+			prefer := userstudy.Compare(cycleItem, simpleItem, seed)
+			t.Rows = append(t.Rows, Row{
+				Label: fmt.Sprintf("Q%d", count),
+				Values: []string{string(dim), fmt.Sprintf("%.1f (%s)", rs.Mean, rs.Verdict()),
+					fmt.Sprintf("%.1f (%s)", rc.Mean, rc.Verdict()),
+					fmt.Sprintf("%d/20", prefer)},
+			})
+		}
+	}
+	return t, nil
+}
+
+// Registry maps experiment IDs to drivers.
+var Registry = map[string]func(Limits) (*Table, error){
+	"fig1":   Fig1,
+	"table1": Table1,
+	"table2": Table2,
+	"fig8a":  Fig8a,
+	"fig8b":  Fig8b,
+	"fig9":   Fig9,
+	"table3": Table3,
+	"table4": Table4,
+	"fig10":  Fig10,
+}
+
+// IDs lists experiment identifiers in presentation order.
+var IDs = []string{"fig1", "table1", "table2", "fig8a", "fig8b", "fig9", "table3", "table4", "fig10"}

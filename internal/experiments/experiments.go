@@ -1,0 +1,240 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (§V). Each driver returns structured rows and can
+// render the same text layout the paper prints; bench_test.go exposes one
+// testing.B benchmark per artifact and cmd/benchmark drives them from the
+// command line.
+//
+// Experiment index (mirrors DESIGN.md):
+//
+//	fig1    accuracy vs beam size (Fig 1)
+//	table1  overall EM/EX/TS, base vs +CycleSQL, five benchmarks (Table I)
+//	table2  EX by Spider difficulty (Table II)
+//	fig8a   average iterations (Fig 8a)
+//	fig8b   inference latency with/without CycleSQL (Fig 8b)
+//	fig9    feedback-quality ablation, CycleSQL vs SQL2NL (Fig 9)
+//	table3  verifier-selection ablation (Table III)
+//	fig10   simulated user study (Fig 10)
+//	table4  case-study explanations on world_1 (Table IV)
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"cyclesql/internal/core"
+	"cyclesql/internal/datasets"
+	"cyclesql/internal/eval"
+	"cyclesql/internal/nl2sql"
+	"cyclesql/internal/nli"
+)
+
+// Limits keeps experiment runtime tractable; 0 means the full split.
+type Limits struct {
+	MaxDev      int
+	MaxTrain    int
+	TrainModels []string
+}
+
+// DefaultLimits balances fidelity and runtime for the benchmark harness.
+var DefaultLimits = Limits{
+	MaxDev:   240,
+	MaxTrain: 500,
+	TrainModels: []string{
+		"resdsql-3b", "resdsql-large", "gpt-3.5-turbo", "smbop", "picard-3b",
+	},
+}
+
+// verifier training is the expensive shared step; cache per config key.
+var (
+	verifierMu    sync.Mutex
+	verifierCache = map[string]*nli.Trained{}
+)
+
+// Verifier returns the frozen verifier trained on the Spider train split
+// (the paper trains once and freezes it for all robustness benchmarks).
+func Verifier(lim Limits) *nli.Trained {
+	key := fmt.Sprintf("%d-%s", lim.MaxTrain, strings.Join(lim.TrainModels, ","))
+	verifierMu.Lock()
+	defer verifierMu.Unlock()
+	if v, ok := verifierCache[key]; ok {
+		return v
+	}
+	bench := datasets.Spider()
+	v := core.TrainVerifier(bench,
+		core.TrainDataConfig{Models: lim.TrainModels, MaxExamples: lim.MaxTrain, Seed: 1},
+		nli.TrainConfig{Seed: 2},
+	)
+	verifierCache[key] = v
+	return v
+}
+
+// devSlice bounds a dev split.
+func devSlice(b *datasets.Benchmark, lim Limits) []datasets.Example {
+	dev := b.Dev
+	if lim.MaxDev > 0 && len(dev) > lim.MaxDev {
+		dev = dev[:lim.MaxDev]
+	}
+	return dev
+}
+
+// suiteFor caches distilled test suites per database (TS metric).
+var (
+	suiteMu    sync.Mutex
+	suiteCache = map[string]*eval.Suite{}
+)
+
+func suiteFor(b *datasets.Benchmark, dbName string) *eval.Suite {
+	key := b.Name + "/" + dbName
+	suiteMu.Lock()
+	defer suiteMu.Unlock()
+	if s, ok := suiteCache[key]; ok {
+		return s
+	}
+	s := eval.BuildSuite(b.DB(dbName), int64(len(key))*31+7)
+	suiteCache[key] = s
+	return s
+}
+
+// RunPair evaluates one model on one benchmark, base vs +CycleSQL.
+type PairScores struct {
+	Model      string
+	Benchmark  string
+	Base, Loop eval.Scores
+	// AvgIterations and overhead feed Fig 8.
+	AvgIterations float64
+	AvgOverheadMS float64
+}
+
+// EvaluateModel runs the base model and the CycleSQL pipeline over the
+// benchmark's dev split and scores both with EM/EX/TS.
+func EvaluateModel(b *datasets.Benchmark, modelName string, verifier nli.Verifier, lim Limits) (PairScores, error) {
+	model := nl2sql.MustByName(modelName)
+	p := core.NewPipeline(model, verifier, b.Name)
+	if isLLM(modelName) {
+		p.BeamSize = 5 // the paper's chat-completion n parameter
+	}
+	var baseC, loopC eval.Counter
+	iterSum, overheadSum := 0.0, 0.0
+	dev := devSlice(b, lim)
+	for _, ex := range dev {
+		db := b.DB(ex.DBName)
+		suite := suiteFor(b, ex.DBName)
+		base, err := p.Baseline(ex, db)
+		if err != nil {
+			return PairScores{}, err
+		}
+		baseC.Add(eval.EM(base, ex.Gold), eval.EX(db, base, ex.Gold), eval.TS(suite, base, ex.Gold))
+		res, err := p.Translate(ex, db)
+		if err != nil {
+			return PairScores{}, err
+		}
+		loopC.Add(eval.EM(res.Final, ex.Gold), eval.EX(db, res.Final, ex.Gold), eval.TS(suite, res.Final, ex.Gold))
+		iterSum += float64(res.Iterations)
+		overheadSum += float64(res.Overhead.Microseconds()) / 1000.0
+	}
+	n := float64(len(dev))
+	return PairScores{
+		Model:         modelName,
+		Benchmark:     b.Name,
+		Base:          baseC.Scores(),
+		Loop:          loopC.Scores(),
+		AvgIterations: iterSum / n,
+		AvgOverheadMS: overheadSum / n,
+	}, nil
+}
+
+func isLLM(model string) bool {
+	switch model {
+	case "gpt-3.5-turbo", "gpt-4", "chess", "dail-sql":
+		return true
+	}
+	return false
+}
+
+// Row is one printable result line.
+type Row struct {
+	Label  string
+	Values []string
+}
+
+// Table is a printable experiment artifact.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    []Row
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers)+1)
+	widths[0] = len("model")
+	for _, r := range t.Rows {
+		if len(r.Label) > widths[0] {
+			widths[0] = len(r.Label)
+		}
+		for i, v := range r.Values {
+			if i+1 < len(widths) && len(v) > widths[i+1] {
+				widths[i+1] = len(v)
+			}
+		}
+	}
+	for i, h := range t.Headers {
+		if len(h) > widths[i+1] {
+			widths[i+1] = len(h)
+		}
+	}
+	var b strings.Builder
+	b.WriteString(t.Title)
+	b.WriteByte('\n')
+	pad := func(s string, w int) string {
+		for len(s) < w {
+			s += " "
+		}
+		return s
+	}
+	b.WriteString(pad("", widths[0]))
+	for i, h := range t.Headers {
+		b.WriteString("  ")
+		b.WriteString(pad(h, widths[i+1]))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(pad(r.Label, widths[0]))
+		for i, v := range r.Values {
+			b.WriteString("  ")
+			if i+1 < len(widths) {
+				b.WriteString(pad(v, widths[i+1]))
+			} else {
+				b.WriteString(v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+func delta(loop, base float64) string {
+	d := loop - base
+	switch {
+	case d > 0.05:
+		return fmt.Sprintf("%.1f(+%.1f)", loop, d)
+	case d < -0.05:
+		return fmt.Sprintf("%.1f(%.1f)", loop, d)
+	default:
+		return fmt.Sprintf("%.1f", loop)
+	}
+}
+
+// sortedKeys returns map keys in deterministic order.
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

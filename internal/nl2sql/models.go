@@ -1,0 +1,133 @@
+package nl2sql
+
+import (
+	"fmt"
+	"time"
+
+	"cyclesql/internal/sqlnorm"
+)
+
+// The seven baseline models of the paper's evaluation, calibrated to the
+// base rows of Tables I and II. Top-1 rates are the per-difficulty
+// execution accuracies the paper reports for each base model; beam
+// recovery and rank decay encode each model's beam quality (Fig 1 and Fig
+// 8a: PICARD needs ~4 iterations, the rest 1-2); style rates encode the
+// EM ≪ EX gap of the un-fine-tuned LLMs.
+var profiles = []Profile{
+	{
+		ModelName: "smbop",
+		Top1: map[sqlnorm.Difficulty]float64{
+			sqlnorm.Easy: 0.905, sqlnorm.Medium: 0.82, sqlnorm.Hard: 0.70, sqlnorm.ExtraHard: 0.52,
+		},
+		BeamRecovery: 0.30, RankDecay: 0.3, StyleRate: 0.02,
+		DKFactor: 0.80, RealisticFactor: 0.88, SynFactor: 0.85,
+		BenchFactor: map[string]float64{"science": 0.28},
+		Latency:     160 * time.Millisecond,
+	},
+	{
+		ModelName: "picard-3b",
+		Top1: map[sqlnorm.Difficulty]float64{
+			sqlnorm.Easy: 0.95, sqlnorm.Medium: 0.85, sqlnorm.Hard: 0.67, sqlnorm.ExtraHard: 0.50,
+		},
+		// PICARD's sampled beams are low quality: gold, when recoverable,
+		// sits deep in the list (the paper measures 3.78 iterations).
+		BeamRecovery: 0.35, RankDecay: 2.5, StyleRate: 0.02,
+		DKFactor: 0.78, RealisticFactor: 0.92, SynFactor: 0.90,
+		BenchFactor: map[string]float64{"science": 0.42},
+		Latency:     8 * time.Second,
+	},
+	{
+		ModelName: "resdsql-large",
+		Top1: map[sqlnorm.Difficulty]float64{
+			sqlnorm.Easy: 0.92, sqlnorm.Medium: 0.83, sqlnorm.Hard: 0.66, sqlnorm.ExtraHard: 0.51,
+		},
+		BeamRecovery: 0.50, RankDecay: 0.2, StyleRate: 0.02,
+		DKFactor: 0.82, RealisticFactor: 0.94, SynFactor: 0.90,
+		BenchFactor: map[string]float64{"science": 0.44},
+		Latency:     550 * time.Millisecond,
+	},
+	{
+		ModelName: "resdsql-3b",
+		Top1: map[sqlnorm.Difficulty]float64{
+			sqlnorm.Easy: 0.94, sqlnorm.Medium: 0.855, sqlnorm.Hard: 0.655, sqlnorm.ExtraHard: 0.55,
+		},
+		BeamRecovery: 0.52, RankDecay: 0.2, StyleRate: 0.02,
+		DKFactor: 0.84, RealisticFactor: 0.97, SynFactor: 0.92,
+		BenchFactor: map[string]float64{"science": 0.46},
+		Latency:     1500 * time.Millisecond,
+	},
+	{
+		ModelName: "gpt-3.5-turbo",
+		Top1: map[sqlnorm.Difficulty]float64{
+			sqlnorm.Easy: 0.84, sqlnorm.Medium: 0.78, sqlnorm.Hard: 0.65, sqlnorm.ExtraHard: 0.48,
+		},
+		// Diverse chat completions recover gold often — the headroom
+		// CycleSQL converts into its largest gains (+5.0 EX).
+		BeamRecovery: 0.55, RankDecay: 0.4, StyleRate: 0.50,
+		DKFactor: 0.85, RealisticFactor: 0.93, SynFactor: 0.90,
+		BenchFactor: map[string]float64{"science": 0.50},
+		Latency:     900 * time.Millisecond,
+	},
+	{
+		ModelName: "gpt-4",
+		Top1: map[sqlnorm.Difficulty]float64{
+			sqlnorm.Easy: 0.90, sqlnorm.Medium: 0.84, sqlnorm.Hard: 0.64, sqlnorm.ExtraHard: 0.56,
+		},
+		BeamRecovery: 0.38, RankDecay: 0.3, StyleRate: 0.42,
+		DKFactor: 0.92, RealisticFactor: 0.94, SynFactor: 0.92,
+		BenchFactor: map[string]float64{"science": 0.66},
+		Latency:     2600 * time.Millisecond,
+	},
+	{
+		ModelName: "chess",
+		// CHESS's Spider numbers are depressed by its "ID-like projection
+		// column" style (§V-A2); its pipeline shines on the scientific
+		// databases instead (Table I right columns).
+		Top1: map[sqlnorm.Difficulty]float64{
+			sqlnorm.Easy: 0.70, sqlnorm.Medium: 0.25, sqlnorm.Hard: 0.39, sqlnorm.ExtraHard: 0.19,
+		},
+		BeamRecovery: 0.15, RankDecay: 0.5, StyleRate: 0.60,
+		DKFactor: 0.88, RealisticFactor: 0.95, SynFactor: 0.92,
+		BenchFactor: map[string]float64{"science": 1.85},
+		Latency:     3200 * time.Millisecond,
+	},
+	{
+		ModelName: "dail-sql",
+		Top1: map[sqlnorm.Difficulty]float64{
+			sqlnorm.Easy: 0.91, sqlnorm.Medium: 0.86, sqlnorm.Hard: 0.77, sqlnorm.ExtraHard: 0.57,
+		},
+		BeamRecovery: 0.25, RankDecay: 0.3, StyleRate: 0.30,
+		DKFactor: 0.90, RealisticFactor: 0.95, SynFactor: 0.93,
+		BenchFactor: map[string]float64{"science": 0.55},
+		Latency:     1000 * time.Millisecond,
+	},
+}
+
+// ModelNames lists the simulated baselines in paper order.
+func ModelNames() []string {
+	out := make([]string, len(profiles))
+	for i, p := range profiles {
+		out[i] = p.ModelName
+	}
+	return out
+}
+
+// ByName returns the named simulated model.
+func ByName(name string) (Model, error) {
+	for _, p := range profiles {
+		if p.ModelName == name {
+			return &Simulator{P: p}, nil
+		}
+	}
+	return nil, fmt.Errorf("nl2sql: unknown model %q", name)
+}
+
+// MustByName panics on unknown names; experiment drivers use it with
+// static model lists.
+func MustByName(name string) Model {
+	m, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

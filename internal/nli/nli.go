@@ -1,0 +1,451 @@
+// Package nli implements CycleSQL's translation verifier (paper §IV-D):
+// translation validation formulated as a textual-entailment task. The
+// premise is the generated NL explanation (with the SQL query and query
+// result appended, separated by '|', as in the paper), the hypothesis is
+// the user's NL question, and the verdict is "entailment" vs
+// "contradiction".
+//
+// The paper fine-tunes a T5-Large encoder with a classification head; this
+// repository substitutes a featurized MLP trained with the same protocol —
+// Adam, focal loss (γ=2.0, α=0.75) with class re-weighting, positives from
+// gold pairs, negatives from model errors on the training split — over
+// lexical-alignment features (see DESIGN.md "Substitutions"). The package
+// also ships the paper's two "strawman" verifiers (a simulated few-shot
+// LLM and a simulated off-the-shelf NLI model) used by Table III.
+package nli
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"cyclesql/internal/nn"
+	"cyclesql/internal/textproc"
+)
+
+// Premise is the verifier's evidence: the explanation enriched with the
+// SQL and the query result.
+type Premise struct {
+	Explanation string
+	SQL         string
+	Result      string
+}
+
+// Text renders the premise in the paper's '|'-separated form.
+func (p Premise) Text() string {
+	return p.Explanation + " | " + p.SQL + " | " + p.Result
+}
+
+// Verifier decides whether a premise entails the hypothesis (NL question).
+type Verifier interface {
+	Name() string
+	// Score returns P(entailment); Verify thresholds it.
+	Score(hypothesis string, premise Premise) float64
+	Verify(hypothesis string, premise Premise) bool
+}
+
+// Featurizer maps (hypothesis, premise) pairs onto fixed-width vectors:
+// engineered alignment features plus hashed bags of shared and
+// hypothesis-only content stems.
+type Featurizer struct {
+	SharedBuckets int
+	HOnlyBuckets  int
+}
+
+// DefaultFeaturizer matches the dimensions used across the repository.
+var DefaultFeaturizer = Featurizer{SharedBuckets: 96, HOnlyBuckets: 96}
+
+// Dim is the feature-vector width.
+func (f Featurizer) Dim() int { return numEngineered + f.SharedBuckets + f.HOnlyBuckets }
+
+const numEngineered = 20
+
+// aggregate-word classes that must align between question and explanation.
+var aggClasses = []string{"count", "sum", "avg", "max", "min"}
+var cmpClasses = []string{"greater", "less", "equal", "between", "not", "distinct"}
+
+// Features computes the feature vector.
+func (f Featurizer) Features(hypothesis string, premise Premise) []float64 {
+	h := canonicalStems(hypothesis)
+	p := canonicalStems(premise.Text())
+	pExplOnly := canonicalStems(premise.Explanation)
+
+	out := make([]float64, f.Dim())
+	out[0] = textproc.Jaccard(h, p)
+	out[1] = textproc.Recall(h, p)
+	out[2] = textproc.Recall(pExplOnly, h)
+	// Number alignment in both directions.
+	hNums := textproc.Numbers(hypothesis)
+	pNums := textproc.Numbers(premise.Explanation)
+	out[3] = textproc.Recall(hNums, pNums)
+	out[4] = textproc.Recall(pNums, hNums)
+	if len(hNums) == 0 {
+		out[5] = 1 // no numeric constraints to align
+	}
+	// Aggregate-class agreement.
+	hSet := toSet(h)
+	pSet := toSet(p)
+	idx := 6
+	for _, class := range aggClasses {
+		switch {
+		case hSet[class] && pSet[class]:
+			out[idx] += 1
+		case hSet[class] != pSet[class]:
+			out[idx+1] += 1 // mismatch count across agg classes
+		}
+	}
+	idx += 2
+	for _, class := range cmpClasses {
+		switch {
+		case hSet[class] && pSet[class]:
+			out[idx] += 1
+		case hSet[class] != pSet[class]:
+			out[idx+1] += 1
+		}
+	}
+	idx += 2
+	// Length ratio and absolute sizes (normalized).
+	out[idx] = ratio(len(h), len(p))
+	out[idx+1] = clamp01(float64(len(h)) / 24.0)
+	idx += 2
+	// SQL-constant alignment: literal values in the SQL must appear in the
+	// question (wrong-value and wrong-column corruptions break this), and
+	// the question's value words must be reachable in the SQL+explanation.
+	sqlVals := sqlLiteralTokens(premise.SQL)
+	out[idx] = textproc.Recall(sqlVals, h)
+	out[idx+1] = textproc.Recall(h, append(append([]string{}, p...), sqlVals...))
+	sqlNums := textproc.Numbers(premise.SQL)
+	out[idx+2] = textproc.Recall(sqlNums, hNums)
+	out[idx+3] = textproc.Recall(hNums, append(sqlNums, pNums...))
+	idx += 4
+	// Projection agreement: what the SQL SELECTs must be what the question
+	// asks for. Wrong-projection corruptions (name -> color) and spurious
+	// aggregates (the paper's Fig 2 count-vs-list error) break this.
+	sel := selectClauseTokens(premise.SQL)
+	selSet := toSet(sel)
+	out[idx] = textproc.Recall(sel, h)
+	selCount := selSet["count"] || selSet["sum"] || selSet["avg"] || selSet["min"] || selSet["max"]
+	hCount := hSet["count"] || hSet["sum"] || hSet["avg"] || hSet["min"] || hSet["max"]
+	if selCount == hCount {
+		out[idx+1] = 1
+	}
+	if selCount && !hCount {
+		out[idx+2] = 1 // SQL aggregates but the question wants instances
+	}
+	if !selCount && hCount {
+		out[idx+3] = 1 // question wants an aggregate the SQL never computes
+	}
+	idx += 4
+	if idx != numEngineered {
+		panic(fmt.Sprintf("nli: engineered feature count drifted: %d", idx))
+	}
+	// Hashed bags: shared stems support entailment, hypothesis-only stems
+	// are evidence the explanation misses part of the question.
+	for tok := range hSet {
+		if pSet[tok] {
+			out[numEngineered+bucket(tok, f.SharedBuckets)] += 0.5
+		} else {
+			out[numEngineered+f.SharedBuckets+bucket(tok, f.HOnlyBuckets)] += 0.5
+		}
+	}
+	return out
+}
+
+// selectClauseTokens extracts the canonical stems of the SQL text between
+// SELECT and FROM — the projection surface.
+func selectClauseTokens(sql string) []string {
+	upper := strings.ToUpper(sql)
+	start := strings.Index(upper, "SELECT")
+	if start < 0 {
+		return nil
+	}
+	start += len("SELECT")
+	end := strings.Index(upper[start:], " FROM ")
+	if end < 0 {
+		end = len(upper) - start
+	}
+	return canonicalStems(sql[start : start+end])
+}
+
+// sqlLiteralTokens extracts the canonical stems of quoted string literals
+// in a SQL text.
+func sqlLiteralTokens(sql string) []string {
+	var out []string
+	for i := 0; i < len(sql); i++ {
+		if sql[i] != '\'' {
+			continue
+		}
+		j := i + 1
+		for j < len(sql) && sql[j] != '\'' {
+			j++
+		}
+		if j >= len(sql) {
+			break
+		}
+		out = append(out, canonicalStems(sql[i+1:j])...)
+		i = j
+	}
+	return out
+}
+
+func canonicalStems(text string) []string {
+	// Phrase idioms first ("at least" -> greater), then stopwords, stems
+	// and synonym classes.
+	toks := textproc.ApplyPhrases(textproc.Tokenize(text))
+	kept := toks[:0]
+	for _, t := range toks {
+		if !textproc.IsStopword(t) {
+			kept = append(kept, t)
+		}
+	}
+	toks = textproc.StemAll(kept)
+	for i, t := range toks {
+		toks[i] = textproc.Canonical(t)
+	}
+	return toks
+}
+
+func toSet(toks []string) map[string]bool {
+	s := make(map[string]bool, len(toks))
+	for _, t := range toks {
+		s[t] = true
+	}
+	return s
+}
+
+func bucket(tok string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(tok))
+	return int(h.Sum32() % uint32(n))
+}
+
+func ratio(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	r := float64(a) / float64(b)
+	return clamp01(r)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Trained is the dedicated NLI verifier: featurizer + trained MLP.
+type Trained struct {
+	Feat      Featurizer
+	Model     *nn.MLP
+	Threshold float64
+}
+
+// Name implements Verifier.
+func (t *Trained) Name() string { return "trained-nli" }
+
+// Score implements Verifier.
+func (t *Trained) Score(hypothesis string, premise Premise) float64 {
+	return t.Model.Predict(t.Feat.Features(hypothesis, premise))
+}
+
+// Verify implements Verifier.
+func (t *Trained) Verify(hypothesis string, premise Premise) bool {
+	return t.Score(hypothesis, premise) >= t.Threshold
+}
+
+// Pair is one labeled premise-hypothesis training instance.
+type Pair struct {
+	Hypothesis string
+	Premise    Premise
+	Label      int // 1 = entailment, 0 = contradiction
+}
+
+// TrainConfig bundles verifier training hyperparameters. Zero values fall
+// back to the paper-aligned defaults.
+type TrainConfig struct {
+	Hidden int
+	Epochs int
+	LR     float64
+	Seed   int64
+	Loss   nn.Loss
+}
+
+// Train fits the dedicated NLI verifier on labeled pairs, using the focal
+// loss with the paper's settings by default.
+func Train(pairs []Pair, cfg TrainConfig) *Trained {
+	if cfg.Hidden == 0 {
+		cfg.Hidden = 48
+	}
+	if cfg.Epochs == 0 {
+		cfg.Epochs = 60
+	}
+	if cfg.LR == 0 {
+		cfg.LR = 0.008
+	}
+	if cfg.Loss == nil {
+		cfg.Loss = nn.PaperFocal
+	}
+	feat := DefaultFeaturizer
+	samples := make([]nn.Sample, len(pairs))
+	for i, p := range pairs {
+		samples[i] = nn.Sample{X: feat.Features(p.Hypothesis, p.Premise), Y: p.Label}
+	}
+	model := nn.NewMLP(feat.Dim(), cfg.Hidden, cfg.Seed+1)
+	nn.Train(model, samples, nn.TrainConfig{
+		Epochs: cfg.Epochs, BatchSize: 32, LR: cfg.LR, Seed: cfg.Seed, Loss: cfg.Loss,
+	})
+	t := &Trained{Feat: feat, Model: model, Threshold: 0.5}
+	t.Threshold = calibrateThreshold(model, samples)
+	return t
+}
+
+// calibrateThreshold sweeps the decision threshold and keeps the one
+// maximizing Youden's J (sensitivity + specificity - 1) on the training
+// pairs, compensating for the class imbalance the focal loss trains under.
+func calibrateThreshold(model *nn.MLP, samples []nn.Sample) float64 {
+	best, bestJ := 0.5, -1.0
+	for th := 0.20; th <= 0.81; th += 0.025 {
+		var tp, fn, tn, fp float64
+		for _, s := range samples {
+			pred := model.Predict(s.X) >= th
+			switch {
+			case s.Y == 1 && pred:
+				tp++
+			case s.Y == 1:
+				fn++
+			case pred:
+				fp++
+			default:
+				tn++
+			}
+		}
+		if tp+fn == 0 || tn+fp == 0 {
+			continue
+		}
+		j := tp/(tp+fn) + tn/(tn+fp) - 1
+		if j > bestJ {
+			bestJ, best = j, th
+		}
+	}
+	return best
+}
+
+// Accuracy evaluates a verifier on labeled pairs.
+func Accuracy(v Verifier, pairs []Pair) float64 {
+	if len(pairs) == 0 {
+		return 0
+	}
+	ok := 0
+	for _, p := range pairs {
+		if v.Verify(p.Hypothesis, p.Premise) == (p.Label == 1) {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(pairs))
+}
+
+// ---- Strawman verifiers (paper Table III) ----
+
+// FewShotLLM simulates the 5-shot prompted GPT-3.5-turbo verifier: a
+// capable zero-training judge driven by surface alignment. It works
+// "straight out of the box" but lacks the trained model's calibration on
+// explanation-style premises; the simulation mirrors that by using fixed,
+// uncalibrated decision weights over the same alignment signals plus a
+// deterministic per-input wobble standing in for sampling noise.
+type FewShotLLM struct{}
+
+// Name implements Verifier.
+func (FewShotLLM) Name() string { return "llm-verifier" }
+
+// Score implements Verifier.
+func (FewShotLLM) Score(hypothesis string, premise Premise) float64 {
+	h := canonicalStems(hypothesis)
+	p := canonicalStems(premise.Text())
+	score := 0.55*textproc.Recall(h, p) + 0.25*textproc.Jaccard(h, p)
+	hNums := textproc.Numbers(hypothesis)
+	if len(hNums) > 0 {
+		score += 0.2 * textproc.Recall(hNums, textproc.Numbers(premise.Explanation))
+	} else {
+		score += 0.1
+	}
+	// Deterministic wobble standing in for LLM sampling variance.
+	wobble := float64(bucket(hypothesis+premise.Explanation, 101))/101.0 - 0.5
+	return clamp01(score + 0.12*wobble)
+}
+
+// Verify implements Verifier.
+func (f FewShotLLM) Verify(hypothesis string, premise Premise) bool {
+	return f.Score(hypothesis, premise) >= 0.45
+}
+
+// PrebuiltNLI simulates the off-the-shelf SemBERT verifier: trained on
+// generic sentence pairs, it mis-handles the long, '|'-structured premises
+// of this task (the paper observes it "struggles to provide reliable
+// verification outcomes"). The simulation scores raw-token overlap with no
+// SQL-aware canonicalization and a miscalibrated threshold.
+type PrebuiltNLI struct{}
+
+// Name implements Verifier.
+func (PrebuiltNLI) Name() string { return "prebuilt-nli" }
+
+// Score implements Verifier.
+func (PrebuiltNLI) Score(hypothesis string, premise Premise) float64 {
+	// Raw tokens, no stemming, no synonym classes: "how many" never
+	// aligns with "count", numbers in the result are ignored.
+	h := textproc.Tokenize(hypothesis)
+	p := textproc.Tokenize(premise.Text())
+	return textproc.Jaccard(h, p)
+}
+
+// Verify implements Verifier.
+func (p PrebuiltNLI) Verify(hypothesis string, premise Premise) bool {
+	return p.Score(hypothesis, premise) >= 0.22
+}
+
+// Func adapts a closure into a Verifier; the oracle verifier of Table III
+// is built this way from gold-equivalence checks.
+type Func struct {
+	Label string
+	Fn    func(hypothesis string, premise Premise) bool
+}
+
+// Name implements Verifier.
+func (f Func) Name() string { return f.Label }
+
+// Score implements Verifier.
+func (f Func) Score(hypothesis string, premise Premise) float64 {
+	if f.Fn(hypothesis, premise) {
+		return 1
+	}
+	return 0
+}
+
+// Verify implements Verifier.
+func (f Func) Verify(hypothesis string, premise Premise) bool {
+	return f.Fn(hypothesis, premise)
+}
+
+// MarshalTrained serializes a trained verifier's model (the featurizer is
+// static configuration).
+func MarshalTrained(t *Trained) ([]byte, error) { return t.Model.Marshal() }
+
+// UnmarshalTrained restores a trained verifier.
+func UnmarshalTrained(data []byte) (*Trained, error) {
+	m, err := nn.UnmarshalMLP(data)
+	if err != nil {
+		return nil, err
+	}
+	if m.In != DefaultFeaturizer.Dim() {
+		return nil, fmt.Errorf("nli: model width %d does not match featurizer %d", m.In, DefaultFeaturizer.Dim())
+	}
+	return &Trained{Feat: DefaultFeaturizer, Model: m, Threshold: 0.5}, nil
+}
+
+// SQLOneLine flattens SQL text for premise rendering.
+func SQLOneLine(sql string) string {
+	return strings.Join(strings.Fields(sql), " ")
+}

@@ -1,0 +1,188 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// numericalGrad estimates dLoss/dParam by central differences through the
+// full forward pass, validating the analytic backward pass.
+func TestBackpropMatchesNumericalGradient(t *testing.T) {
+	m := NewMLP(4, 3, 1)
+	x := []float64{0.5, -1.2, 0.3, 2.0}
+	loss := PaperFocal
+	for _, y := range []int{0, 1} {
+		logit, hidden := m.forward(x)
+		_, dLdZ := loss.Eval(logit, y)
+		g := newGrads(m)
+		m.backward(x, dLdZ, hidden, g)
+
+		const h = 1e-6
+		check := func(p *float64, analytic float64, name string) {
+			t.Helper()
+			orig := *p
+			*p = orig + h
+			lp, _ := loss.Eval(m.Logit(x), y)
+			*p = orig - h
+			lm, _ := loss.Eval(m.Logit(x), y)
+			*p = orig
+			numeric := (lp - lm) / (2 * h)
+			if math.Abs(numeric-analytic) > 1e-5*(1+math.Abs(numeric)) {
+				t.Errorf("y=%d %s: analytic %g numeric %g", y, name, analytic, numeric)
+			}
+		}
+		check(&m.B2, g.b2, "b2")
+		check(&m.W2[0], g.w2[0], "w2[0]")
+		check(&m.W1[0][0], g.w1[0][0], "w1[0][0]")
+		check(&m.B1[1], g.b1[1], "b1[1]")
+	}
+}
+
+func TestFocalLossGradientNumerically(t *testing.T) {
+	fl := FocalLoss{Gamma: 2.0, Alpha: 0.75, WPos: 2.7, WNeg: 1.0}
+	const h = 1e-6
+	for _, z := range []float64{-3, -0.5, 0, 0.5, 3} {
+		for _, y := range []int{0, 1} {
+			_, grad := fl.Eval(z, y)
+			lp, _ := fl.Eval(z+h, y)
+			lm, _ := fl.Eval(z-h, y)
+			numeric := (lp - lm) / (2 * h)
+			if math.Abs(numeric-grad) > 1e-5*(1+math.Abs(numeric)) {
+				t.Errorf("focal grad at z=%v y=%d: analytic %g numeric %g", z, y, grad, numeric)
+			}
+		}
+	}
+}
+
+func TestCrossEntropyGradientNumerically(t *testing.T) {
+	ce := CrossEntropy{WPos: 2, WNeg: 1}
+	const h = 1e-6
+	for _, z := range []float64{-2, 0, 2} {
+		for _, y := range []int{0, 1} {
+			_, grad := ce.Eval(z, y)
+			lp, _ := ce.Eval(z+h, y)
+			lm, _ := ce.Eval(z-h, y)
+			numeric := (lp - lm) / (2 * h)
+			if math.Abs(numeric-grad) > 1e-5*(1+math.Abs(numeric)) {
+				t.Errorf("ce grad at z=%v y=%d: analytic %g numeric %g", z, y, grad, numeric)
+			}
+		}
+	}
+}
+
+func TestFocalDownweightsEasyExamples(t *testing.T) {
+	fl := FocalLoss{Gamma: 2.0, Alpha: 0.5, WPos: 1, WNeg: 1}
+	ce := CrossEntropy{WPos: 0.5, WNeg: 0.5}
+	// A well-classified positive (logit 3): focal loss must shrink the
+	// example far more than cross entropy does.
+	fEasy, _ := fl.Eval(3, 1)
+	cEasy, _ := ce.Eval(3, 1)
+	fHard, _ := fl.Eval(-3, 1)
+	cHard, _ := ce.Eval(-3, 1)
+	if fEasy/fHard >= cEasy/cHard {
+		t.Fatalf("focal must down-weight easy examples: focal ratio %g, ce ratio %g", fEasy/fHard, cEasy/cHard)
+	}
+}
+
+func TestTrainLearnsXOR(t *testing.T) {
+	// XOR is the canonical not-linearly-separable sanity check.
+	data := []Sample{
+		{X: []float64{0, 0}, Y: 0},
+		{X: []float64{0, 1}, Y: 1},
+		{X: []float64{1, 0}, Y: 1},
+		{X: []float64{1, 1}, Y: 0},
+	}
+	var big []Sample
+	for i := 0; i < 64; i++ {
+		big = append(big, data...)
+	}
+	m := NewMLP(2, 8, 42)
+	losses := Train(m, big, TrainConfig{Epochs: 200, BatchSize: 16, LR: 0.01, Seed: 7, Loss: CrossEntropy{WPos: 1, WNeg: 1}})
+	if losses[len(losses)-1] >= losses[0] {
+		t.Fatalf("loss did not decrease: %g -> %g", losses[0], losses[len(losses)-1])
+	}
+	for _, s := range data {
+		p := m.Predict(s.X)
+		if (s.Y == 1) != (p > 0.5) {
+			t.Fatalf("XOR(%v) predicted %g want label %d", s.X, p, s.Y)
+		}
+	}
+}
+
+func TestTrainImbalancedWithFocal(t *testing.T) {
+	// 9:1 negative:positive imbalance on a linearly separable problem;
+	// the focal loss with class re-weighting must still recover the
+	// positive class.
+	rng := rand.New(rand.NewSource(3))
+	var data []Sample
+	for i := 0; i < 900; i++ {
+		data = append(data, Sample{X: []float64{rng.Float64() * 0.4, 1}, Y: 0})
+	}
+	for i := 0; i < 100; i++ {
+		data = append(data, Sample{X: []float64{0.6 + rng.Float64()*0.4, 1}, Y: 1})
+	}
+	m := NewMLP(2, 6, 11)
+	Train(m, data, TrainConfig{Epochs: 60, BatchSize: 32, LR: 0.02, Seed: 5, Loss: PaperFocal})
+	tp, fn := 0, 0
+	for _, s := range data {
+		if s.Y == 1 {
+			if m.Predict(s.X) > 0.5 {
+				tp++
+			} else {
+				fn++
+			}
+		}
+	}
+	if tp < 90 {
+		t.Fatalf("positive recall too low under imbalance: tp=%d fn=%d", tp, fn)
+	}
+}
+
+func TestTrainDeterministicGivenSeed(t *testing.T) {
+	data := []Sample{{X: []float64{1, 0}, Y: 1}, {X: []float64{0, 1}, Y: 0}}
+	m1 := NewMLP(2, 4, 9)
+	m2 := NewMLP(2, 4, 9)
+	Train(m1, data, TrainConfig{Epochs: 10, LR: 0.01, Seed: 1})
+	Train(m2, data, TrainConfig{Epochs: 10, LR: 0.01, Seed: 1})
+	if m1.B2 != m2.B2 || m1.W2[0] != m2.W2[0] {
+		t.Fatal("training must be deterministic for a fixed seed")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	m := NewMLP(3, 2, 5)
+	data, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := UnmarshalMLP(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.1, 0.2, 0.3}
+	if math.Abs(m.Logit(x)-m2.Logit(x)) > 1e-12 {
+		t.Fatal("round-tripped model diverges")
+	}
+}
+
+func TestUnmarshalRejectsCorrupt(t *testing.T) {
+	if _, err := UnmarshalMLP([]byte(`{"in":3,"hidden":2,"w1":[[1,2,3]],"b1":[0,0],"w2":[1,1],"b2":0}`)); err == nil {
+		t.Fatal("shape mismatch must be rejected")
+	}
+	if _, err := UnmarshalMLP([]byte(`not json`)); err == nil {
+		t.Fatal("bad json must be rejected")
+	}
+}
+
+func TestSigmoidStability(t *testing.T) {
+	if s := Sigmoid(1000); s != 1 {
+		t.Fatalf("sigmoid(1000) = %g", s)
+	}
+	if s := Sigmoid(-1000); s != 0 {
+		t.Fatalf("sigmoid(-1000) = %g", s)
+	}
+	if s := Sigmoid(0); math.Abs(s-0.5) > 1e-12 {
+		t.Fatalf("sigmoid(0) = %g", s)
+	}
+}

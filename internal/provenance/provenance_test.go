@@ -1,0 +1,216 @@
+package provenance
+
+import (
+	"strings"
+	"testing"
+
+	"cyclesql/internal/datasets"
+	"cyclesql/internal/sqleval"
+	"cyclesql/internal/sqlparse"
+	"cyclesql/internal/sqltypes"
+	"cyclesql/internal/storage"
+)
+
+func track(t *testing.T, db *storage.Database, sql string, rowIdx int) *Provenance {
+	t.Helper()
+	stmt := sqlparse.MustParse(sql)
+	rel, err := sqleval.New(db).Exec(stmt)
+	if err != nil {
+		t.Fatalf("exec %q: %v", sql, err)
+	}
+	p, err := Track(db, stmt, rel, rowIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// The paper's Fig 4 example: provenance of count(*)=2 for the Airbus query
+// must be the two flights with aid 3.
+func TestTrackPaperFig4(t *testing.T) {
+	db := datasets.FlightDB()
+	p := track(t, db, "SELECT count(*) FROM flight AS T1 JOIN aircraft AS T2 ON T1.aid = T2.aid WHERE T2.name = 'Airbus A340-300'", 0)
+	if p.Empty || len(p.Parts) != 1 {
+		t.Fatalf("parts: %+v", p)
+	}
+	part := p.Parts[0]
+	if part.Table == nil || part.Table.NumRows() != 2 {
+		t.Fatalf("provenance rows = %v", part.Table)
+	}
+	// Rule 3 must have removed the aggregate from the rewritten SQL.
+	rw := part.Rewritten.SQL()
+	if strings.Contains(strings.ToLower(rw), "count(") {
+		t.Fatalf("aggregate survived rewrite: %s", rw)
+	}
+	// Rule 2 must project the filter column and the flight primary key.
+	idx := part.Table.ColumnIndex("name")
+	if idx < 0 {
+		t.Fatalf("filter column missing from provenance: %v", part.Table.Columns)
+	}
+	if part.Table.ColumnIndex("flno") < 0 {
+		t.Fatalf("primary key missing from provenance: %v", part.Table.Columns)
+	}
+	for _, row := range part.Table.Rows {
+		if row[idx].Text() != "Airbus A340-300" {
+			t.Fatalf("provenance row leaked: %v", row)
+		}
+	}
+}
+
+// Rule 1: a plain projection pins the provenance to the selected tuple.
+func TestTrackRule1PinsResult(t *testing.T) {
+	db := datasets.FlightDB()
+	p := track(t, db, "SELECT name FROM aircraft WHERE distance > 4000", 0)
+	part := p.Parts[0]
+	nameIdx := part.Table.ColumnIndex("name")
+	if nameIdx < 0 {
+		t.Fatal("name column missing")
+	}
+	want := p.Result[0].Text()
+	for _, row := range part.Table.Rows {
+		if row[nameIdx].Text() != want {
+			t.Fatalf("rule 1 failed to pin: got %v want %s", row[nameIdx], want)
+		}
+	}
+	// Rewritten SQL carries the pin.
+	if !strings.Contains(part.Rewritten.SQL(), want) {
+		t.Fatalf("pin missing from rewrite: %s", part.Rewritten.SQL())
+	}
+}
+
+// Grouped query: Rule 1 pins the group key, Rule 3 removes GROUP BY, and
+// the provenance contains exactly the group's rows.
+func TestTrackGroupedQuery(t *testing.T) {
+	db := datasets.FlightDB()
+	p := track(t, db, "SELECT origin, count(*) FROM flight GROUP BY origin", 0)
+	part := p.Parts[0]
+	rw := strings.ToLower(part.Rewritten.SQL())
+	if strings.Contains(rw, "group by") {
+		t.Fatalf("GROUP BY survived: %s", rw)
+	}
+	origin := p.Result[0].Text()
+	n := int64(p.Result[1].Int())
+	if part.Table.NumRows() != int(n) {
+		t.Fatalf("group provenance = %d rows, result says %d", part.Table.NumRows(), n)
+	}
+	oIdx := part.Table.ColumnIndex("origin")
+	for _, row := range part.Table.Rows {
+		if row[oIdx].Text() != origin {
+			t.Fatalf("row outside group: %v", row)
+		}
+	}
+}
+
+// ORDER BY / LIMIT queries: the argmax row is pinned via Rule 1.
+func TestTrackArgmax(t *testing.T) {
+	db := datasets.FlightDB()
+	p := track(t, db, "SELECT name FROM aircraft ORDER BY distance DESC LIMIT 1", 0)
+	part := p.Parts[0]
+	if part.Table.NumRows() != 1 {
+		t.Fatalf("argmax provenance rows = %d", part.Table.NumRows())
+	}
+	if got := part.Table.Rows[0][part.Table.ColumnIndex("name")].Text(); got != "Boeing 747-400" {
+		t.Fatalf("argmax pinned wrong row: %s", got)
+	}
+}
+
+func TestTrackEmptyResult(t *testing.T) {
+	db := datasets.FlightDB()
+	p := track(t, db, "SELECT name FROM aircraft WHERE name = 'Concorde'", 0)
+	if !p.Empty || len(p.Parts) != 0 {
+		t.Fatalf("empty result must produce empty provenance: %+v", p)
+	}
+}
+
+func TestTrackCompoundQuery(t *testing.T) {
+	db := datasets.WorldDB()
+	sql := "SELECT T1.name FROM country AS T1 JOIN countrylanguage AS T2 ON T1.code = T2.countrycode WHERE T2.language = 'English' INTERSECT SELECT T1.name FROM country AS T1 JOIN countrylanguage AS T2 ON T1.code = T2.countrycode WHERE T2.language = 'French'"
+	stmt := sqlparse.MustParse(sql)
+	rel, err := sqleval.New(db).Exec(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Explain the Seychelles row specifically.
+	idx := -1
+	for i, row := range rel.Rows {
+		if row[0].Text() == "Seychelles" {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		t.Fatalf("no Seychelles row: %v", rel.Rows)
+	}
+	p, err := Track(db, stmt, rel, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Parts) != 2 {
+		t.Fatalf("compound provenance parts = %d", len(p.Parts))
+	}
+	for pi, part := range p.Parts {
+		if part.Table == nil || part.Table.NumRows() == 0 {
+			t.Fatalf("part %d empty", pi)
+		}
+		nIdx := part.Table.ColumnIndex("name")
+		for _, row := range part.Table.Rows {
+			if row[nIdx].Text() != "Seychelles" {
+				t.Fatalf("part %d not pinned: %v", pi, row)
+			}
+		}
+	}
+}
+
+func TestTrackRowOutOfRange(t *testing.T) {
+	db := datasets.FlightDB()
+	stmt := sqlparse.MustParse("SELECT name FROM aircraft")
+	rel, _ := sqleval.New(db).Exec(stmt)
+	if _, err := Track(db, stmt, rel, 99); err == nil {
+		t.Fatal("out-of-range row must error")
+	}
+}
+
+func TestTrackRowLimit(t *testing.T) {
+	db := datasets.WorldDB()
+	// A selective-enough pinless query: star projection keeps Rule 1 off.
+	p := track(t, db, "SELECT * FROM countrylanguage", 0)
+	if p.Parts[0].Table.NumRows() > RowLimit {
+		t.Fatalf("provenance exceeds RowLimit: %d", p.Parts[0].Table.NumRows())
+	}
+}
+
+func TestTrackNullResultPin(t *testing.T) {
+	db := datasets.FlightDB()
+	// LEFT JOIN produces NULL flno for unused aircraft; pin must use IS NULL.
+	p := track(t, db, "SELECT T2.flno FROM aircraft AS T1 LEFT JOIN flight AS T2 ON T1.aid = T2.aid WHERE T2.flno IS NULL", 0)
+	if p.Empty {
+		t.Fatal("expected rows")
+	}
+	rw := p.Parts[0].Rewritten.SQL()
+	if !strings.Contains(rw, "IS NULL") {
+		t.Fatalf("NULL pin missing: %s", rw)
+	}
+}
+
+func TestFiltersExtraction(t *testing.T) {
+	stmt := sqlparse.MustParse("SELECT name FROM country WHERE continent = 'Europe' AND population >= 80000 AND name LIKE 'A%'")
+	fs := Filters(stmt.Core())
+	if len(fs) != 3 {
+		t.Fatalf("filters = %d", len(fs))
+	}
+	if fs[0].Op != "=" || fs[0].Value.Text() != "Europe" {
+		t.Fatalf("first filter: %+v", fs[0])
+	}
+	if fs[2].Op != "LIKE" {
+		t.Fatalf("like filter: %+v", fs[2])
+	}
+}
+
+func TestRewriteDoesNotMutateOriginal(t *testing.T) {
+	db := datasets.FlightDB()
+	stmt := sqlparse.MustParse("SELECT count(*) FROM flight WHERE origin = 'Chicago'")
+	before := stmt.SQL()
+	RewriteCore(db, stmt.Core(), []string{"count(*)"}, sqltypes.Row{sqltypes.NewInt(2)})
+	if stmt.SQL() != before {
+		t.Fatal("RewriteCore must not mutate its input")
+	}
+}

@@ -1,0 +1,365 @@
+// Package provgraph builds the provenance graph at the heart of CycleSQL's
+// explanation generation (paper §IV-C): a directed graph whose nodes are
+// provenance elements — the (possibly joint) table, its columns, and the
+// values of the to-explain provenance rows — connected by "hasAttribute"
+// and "hasValue" edges. Query annotations from the enrichment stage attach
+// to their corresponding nodes as semantics labels.
+//
+// The package also implements the join-semantics discovery of Fig 6: the
+// join relations of a query are converted into a table graph and matched
+// by graph isomorphism against a pool of pre-defined topologies
+// (object-object, subject-relationship-object, object-attribute); on a
+// match, the topology's phrase template instantiates with the concrete
+// table names, and otherwise the table names themselves represent the
+// join semantics.
+package provgraph
+
+import (
+	"strings"
+
+	"cyclesql/internal/annotate"
+	"cyclesql/internal/provenance"
+	"cyclesql/internal/schema"
+	"cyclesql/internal/sqltypes"
+)
+
+// NodeKind classifies provenance graph nodes.
+type NodeKind int
+
+// Node kinds.
+const (
+	TableNode NodeKind = iota
+	ColumnNode
+	ValueNode
+)
+
+// EdgeHasAttribute connects a table node to its column nodes;
+// EdgeHasValue connects a column node to a value node.
+const (
+	EdgeHasAttribute = "hasAttribute"
+	EdgeHasValue     = "hasValue"
+)
+
+// Node is one provenance element with its attached semantics labels.
+type Node struct {
+	ID     int
+	Kind   NodeKind
+	Label  string // table name, column name, or value text
+	Value  sqltypes.Value
+	Labels []annotate.Annotation // semantics labels from the annotator
+}
+
+// Edge is a typed directed edge.
+type Edge struct {
+	From, To int
+	Type     string
+}
+
+// Graph is the provenance graph of one provenance part.
+type Graph struct {
+	Nodes []*Node
+	Edges []Edge
+	// Table is the index of the (joint) table node.
+	Table int
+}
+
+// Build constructs the provenance graph for one provenance part: a joint
+// table node named after the referenced tables, one column node per
+// provenance column, and value nodes for the first representative
+// provenance row. Annotations anchor onto matching column nodes; anchorless
+// annotations label the table node (the paper's asterisk rule).
+func Build(part provenance.Part, anns []annotate.Annotation) *Graph {
+	g := &Graph{}
+	tables := part.Core.Tables()
+	names := make([]string, 0, len(tables))
+	for _, t := range tables {
+		if t.Name != "" {
+			names = append(names, t.Name)
+		}
+	}
+	tn := &Node{ID: 0, Kind: TableNode, Label: strings.Join(names, "-")}
+	g.Nodes = append(g.Nodes, tn)
+	g.Table = 0
+
+	if part.Table == nil {
+		// Operation-level-only provenance: annotations all label the table.
+		tn.Labels = append(tn.Labels, anns...)
+		return g
+	}
+	colIdx := map[string]int{}
+	for _, col := range part.Table.Columns {
+		n := &Node{ID: len(g.Nodes), Kind: ColumnNode, Label: col}
+		g.Nodes = append(g.Nodes, n)
+		g.Edges = append(g.Edges, Edge{From: tn.ID, To: n.ID, Type: EdgeHasAttribute})
+		colIdx[strings.ToLower(col)] = n.ID
+	}
+	if len(part.Table.Rows) > 0 {
+		row := part.Table.Rows[0]
+		for ci, col := range part.Table.Columns {
+			if ci >= len(row) {
+				break
+			}
+			n := &Node{ID: len(g.Nodes), Kind: ValueNode, Label: row[ci].String(), Value: row[ci]}
+			g.Nodes = append(g.Nodes, n)
+			g.Edges = append(g.Edges, Edge{From: colIdx[strings.ToLower(col)], To: n.ID, Type: EdgeHasValue})
+		}
+	}
+	// Attach semantics labels.
+	for _, a := range anns {
+		if !a.Anchored() {
+			tn.Labels = append(tn.Labels, a)
+			continue
+		}
+		if id, ok := matchColumn(colIdx, a.Column); ok {
+			g.Nodes[id].Labels = append(g.Nodes[id].Labels, a)
+		} else {
+			// Column missing from provenance (for example dropped by a
+			// failed rewrite): fall back to the table node.
+			tn.Labels = append(tn.Labels, a)
+		}
+	}
+	return g
+}
+
+// matchColumn resolves an annotation anchor ("T2.name" or "name") against
+// the provenance columns, tolerating qualification differences.
+func matchColumn(colIdx map[string]int, anchor string) (int, bool) {
+	a := strings.ToLower(anchor)
+	if id, ok := colIdx[a]; ok {
+		return id, true
+	}
+	bare := a
+	if dot := strings.LastIndexByte(a, '.'); dot >= 0 {
+		bare = a[dot+1:]
+	}
+	for col, id := range colIdx {
+		c := col
+		if dot := strings.LastIndexByte(col, '.'); dot >= 0 {
+			c = col[dot+1:]
+		}
+		if c == bare {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// ValueOf returns the representative value of a column node, if present.
+func (g *Graph) ValueOf(columnID int) (sqltypes.Value, bool) {
+	for _, e := range g.Edges {
+		if e.From == columnID && e.Type == EdgeHasValue {
+			return g.Nodes[e.To].Value, true
+		}
+	}
+	return sqltypes.Value{}, false
+}
+
+// Columns returns the column nodes in insertion order.
+func (g *Graph) Columns() []*Node {
+	var out []*Node
+	for _, n := range g.Nodes {
+		if n.Kind == ColumnNode {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// ---- Join-semantics discovery (Fig 6) ----
+
+// Topology is one pre-defined inter-table relation graph in the pool.
+type Topology struct {
+	Name string
+	// Adjacency over node indices 0..N-1.
+	Edges [][2]int
+	// Phrase instantiates the topology with concrete natural table names;
+	// the argument order follows the matched node assignment.
+	Phrase func(names []string) string
+}
+
+// Pool is the pre-defined inter-table relation graph pool. Matching is
+// attempted in order, so more specific topologies come first.
+var Pool = []Topology{
+	{
+		// A junction table linking two entities: subject-relationship-object.
+		Name:  "subject-relationship-object",
+		Edges: [][2]int{{1, 0}, {1, 2}}, // node 1 is the junction
+		Phrase: func(names []string) string {
+			return names[0] + " with " + names[2]
+		},
+	},
+	{
+		// A chain where one endpoint hangs off an entity: object-attribute.
+		Name:  "object-attribute",
+		Edges: [][2]int{{0, 1}, {1, 2}},
+		Phrase: func(names []string) string {
+			return names[0] + " of " + names[2]
+		},
+	},
+	{
+		// Two directly related entities: object-object.
+		Name:  "object-object",
+		Edges: [][2]int{{0, 1}},
+		Phrase: func(names []string) string {
+			return names[0] + " with " + names[1]
+		},
+	},
+}
+
+// JoinSemantics is the discovered semantics of a join relation.
+type JoinSemantics struct {
+	Topology string // matched pool entry, or "" for the fallback
+	Phrase   string
+}
+
+// DiscoverJoin matches the query's join relation (the induced schema
+// subgraph over the referenced tables) against the pool. Junction tables
+// (tables whose foreign keys point at both neighbors) take the middle role
+// in subject-relationship-object matches. With no isomorphic pool entry,
+// the associated table names represent the semantics.
+func DiscoverJoin(s *schema.Schema, tables []string) JoinSemantics {
+	if len(tables) < 2 {
+		name := ""
+		if len(tables) == 1 {
+			if t := s.Table(tables[0]); t != nil {
+				name = t.Natural()
+			}
+		}
+		return JoinSemantics{Phrase: name}
+	}
+	sub := s.Graph().Subgraph(tables)
+	for _, topo := range Pool {
+		if assign, ok := isomorphic(sub, topo); ok {
+			// For subject-relationship-object, verify the middle node is a
+			// true junction (out-FKs to both neighbors); otherwise prefer
+			// the chain reading.
+			if topo.Name == "subject-relationship-object" && !isJunction(s, assign[1], assign[0], assign[2]) {
+				continue
+			}
+			names := make([]string, len(assign))
+			for i, tname := range assign {
+				if t := s.Table(tname); t != nil {
+					names[i] = t.Natural()
+				} else {
+					names[i] = schema.Naturalize(tname)
+				}
+			}
+			return JoinSemantics{Topology: topo.Name, Phrase: topo.Phrase(names)}
+		}
+	}
+	// Fallback: join the natural table names.
+	names := make([]string, len(tables))
+	for i, tname := range tables {
+		if t := s.Table(tname); t != nil {
+			names[i] = t.Natural()
+		} else {
+			names[i] = schema.Naturalize(tname)
+		}
+	}
+	return JoinSemantics{Phrase: strings.Join(names, " with ")}
+}
+
+func isJunction(s *schema.Schema, mid, a, b string) bool {
+	toA, toB := false, false
+	for _, fk := range s.ForeignKeysFrom(mid) {
+		if strings.EqualFold(fk.RefTable, a) {
+			toA = true
+		}
+		if strings.EqualFold(fk.RefTable, b) {
+			toB = true
+		}
+	}
+	return toA && toB
+}
+
+// isomorphic checks whether g (an undirected schema subgraph) is
+// isomorphic to the topology, returning the table assigned to each
+// topology node. Pool graphs are tiny, so permutation search suffices.
+func isomorphic(g *schema.Graph, topo Topology) ([]string, bool) {
+	n := topoSize(topo)
+	if len(g.Nodes) != n {
+		return nil, false
+	}
+	want := make(map[[2]int]bool, len(topo.Edges))
+	for _, e := range topo.Edges {
+		want[norm(e[0], e[1])] = true
+	}
+	adj := map[[2]int]bool{}
+	index := map[string]int{}
+	for i, t := range g.Nodes {
+		index[strings.ToLower(t)] = i
+	}
+	edgeCount := 0
+	seen := map[[2]int]bool{}
+	for from, tos := range g.Edges {
+		fi := index[strings.ToLower(from)]
+		for _, to := range tos {
+			ti, ok := index[strings.ToLower(to)]
+			if !ok {
+				continue
+			}
+			k := norm(fi, ti)
+			adj[k] = true
+			if !seen[k] {
+				seen[k] = true
+				edgeCount++
+			}
+		}
+	}
+	if edgeCount != len(want) {
+		return nil, false
+	}
+	var try func(k int) bool
+	used := make([]bool, n)
+	assign := make([]int, n) // topology node -> graph node
+	try = func(k int) bool {
+		if k == n {
+			for e := range want {
+				if !adj[norm(assign[e[0]], assign[e[1]])] {
+					return false
+				}
+			}
+			return true
+		}
+		for v := 0; v < n; v++ {
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			assign[k] = v
+			if try(k + 1) {
+				return true
+			}
+			used[v] = false
+		}
+		return false
+	}
+	if !try(0) {
+		return nil, false
+	}
+	out := make([]string, n)
+	for topoNode, gNode := range assign {
+		out[topoNode] = g.Nodes[gNode]
+	}
+	return out, true
+}
+
+func topoSize(t Topology) int {
+	max := 0
+	for _, e := range t.Edges {
+		if e[0] > max {
+			max = e[0]
+		}
+		if e[1] > max {
+			max = e[1]
+		}
+	}
+	return max + 1
+}
+
+func norm(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}

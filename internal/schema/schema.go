@@ -1,0 +1,288 @@
+// Package schema models relational database schemata: tables, typed
+// columns, primary and foreign keys, plus the natural-language surface
+// names used by the explanation generator and the benchmark question
+// templates.
+//
+// The package also exposes the schema as a graph (tables as nodes, foreign
+// keys as edges), which the join-semantics discovery of the explanation
+// generator matches against a pool of pre-defined relation topologies
+// (paper §IV-C, Fig 6).
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cyclesql/internal/sqltypes"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name        string        // SQL identifier, e.g. "flno"
+	Type        sqltypes.Kind // INTEGER, REAL or TEXT
+	NaturalName string        // NL surface form, e.g. "flight number"
+	PrimaryKey  bool
+	// Role hints the benchmark question templates at how the column is
+	// used: "id", "name", "category", "measure", "place", "fk", "level".
+	// It is metadata for data/question generation, not SQL semantics.
+	Role string
+}
+
+// ForeignKey is a directed reference from (Table, Column) to
+// (RefTable, RefColumn).
+type ForeignKey struct {
+	Table     string
+	Column    string
+	RefTable  string
+	RefColumn string
+}
+
+// Table describes one relation.
+type Table struct {
+	Name        string
+	NaturalName string
+	Columns     []Column
+}
+
+// Column returns the named column, or nil. Matching is case-insensitive.
+func (t *Table) Column(name string) *Column {
+	for i := range t.Columns {
+		if strings.EqualFold(t.Columns[i].Name, name) {
+			return &t.Columns[i]
+		}
+	}
+	return nil
+}
+
+// ColumnNames returns the column identifiers in declaration order.
+func (t *Table) ColumnNames() []string {
+	out := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// PrimaryKeys returns the names of the primary-key columns.
+func (t *Table) PrimaryKeys() []string {
+	var out []string
+	for _, c := range t.Columns {
+		if c.PrimaryKey {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}
+
+// Natural returns the table's NL surface form, falling back to a
+// de-underscored lowering of the identifier.
+func (t *Table) Natural() string {
+	if t.NaturalName != "" {
+		return t.NaturalName
+	}
+	return Naturalize(t.Name)
+}
+
+// Schema is a complete database schema.
+type Schema struct {
+	Name        string
+	Tables      []*Table
+	ForeignKeys []ForeignKey
+}
+
+// Table returns the named table, or nil. Matching is case-insensitive.
+func (s *Schema) Table(name string) *Table {
+	for _, t := range s.Tables {
+		if strings.EqualFold(t.Name, name) {
+			return t
+		}
+	}
+	return nil
+}
+
+// TableNames returns the table identifiers in declaration order.
+func (s *Schema) TableNames() []string {
+	out := make([]string, len(s.Tables))
+	for i, t := range s.Tables {
+		out[i] = t.Name
+	}
+	return out
+}
+
+// ResolveColumn finds the table owning an unqualified column name. If the
+// column exists in several tables the first declaration wins; callers that
+// need join-aware resolution pass their own candidate table list.
+func (s *Schema) ResolveColumn(column string, among []string) (table string, col *Column) {
+	names := among
+	if len(names) == 0 {
+		names = s.TableNames()
+	}
+	for _, tn := range names {
+		t := s.Table(tn)
+		if t == nil {
+			continue
+		}
+		if c := t.Column(column); c != nil {
+			return t.Name, c
+		}
+	}
+	return "", nil
+}
+
+// ForeignKeyBetween returns the foreign key linking two tables in either
+// direction, or nil.
+func (s *Schema) ForeignKeyBetween(a, b string) *ForeignKey {
+	for i := range s.ForeignKeys {
+		fk := &s.ForeignKeys[i]
+		if (strings.EqualFold(fk.Table, a) && strings.EqualFold(fk.RefTable, b)) ||
+			(strings.EqualFold(fk.Table, b) && strings.EqualFold(fk.RefTable, a)) {
+			return fk
+		}
+	}
+	return nil
+}
+
+// ForeignKeysFrom returns all foreign keys whose source is the given table.
+func (s *Schema) ForeignKeysFrom(table string) []ForeignKey {
+	var out []ForeignKey
+	for _, fk := range s.ForeignKeys {
+		if strings.EqualFold(fk.Table, table) {
+			out = append(out, fk)
+		}
+	}
+	return out
+}
+
+// Validate checks referential integrity of the schema definition itself:
+// all FK endpoints exist, PKs are declared, names are unique.
+func (s *Schema) Validate() error {
+	seen := map[string]bool{}
+	for _, t := range s.Tables {
+		key := strings.ToLower(t.Name)
+		if seen[key] {
+			return fmt.Errorf("schema %s: duplicate table %s", s.Name, t.Name)
+		}
+		seen[key] = true
+		colSeen := map[string]bool{}
+		for _, c := range t.Columns {
+			ck := strings.ToLower(c.Name)
+			if colSeen[ck] {
+				return fmt.Errorf("schema %s: duplicate column %s.%s", s.Name, t.Name, c.Name)
+			}
+			colSeen[ck] = true
+		}
+	}
+	for _, fk := range s.ForeignKeys {
+		src := s.Table(fk.Table)
+		dst := s.Table(fk.RefTable)
+		if src == nil || dst == nil {
+			return fmt.Errorf("schema %s: foreign key references missing table (%s -> %s)", s.Name, fk.Table, fk.RefTable)
+		}
+		if src.Column(fk.Column) == nil {
+			return fmt.Errorf("schema %s: foreign key column %s.%s missing", s.Name, fk.Table, fk.Column)
+		}
+		if dst.Column(fk.RefColumn) == nil {
+			return fmt.Errorf("schema %s: foreign key target %s.%s missing", s.Name, fk.RefTable, fk.RefColumn)
+		}
+	}
+	return nil
+}
+
+// Serialize renders the schema in the compact prompt format used by the
+// paper's few-shot LLM prompt ("Table Player with columns 'pID', ...").
+func (s *Schema) Serialize() string {
+	var b strings.Builder
+	for _, t := range s.Tables {
+		b.WriteString("Table ")
+		b.WriteString(t.Name)
+		b.WriteString(" with columns ")
+		for i, c := range t.Columns {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString("'")
+			b.WriteString(c.Name)
+			b.WriteString("'")
+		}
+		b.WriteString(";\n")
+	}
+	return b.String()
+}
+
+// Naturalize converts a SQL identifier into an NL surface form:
+// "Singer_in_concert" becomes "singer in concert", "countrycode" stays.
+func Naturalize(ident string) string {
+	out := strings.ReplaceAll(ident, "_", " ")
+	// Split lowerCamelCase boundaries.
+	var b strings.Builder
+	for i, r := range out {
+		if i > 0 && r >= 'A' && r <= 'Z' {
+			prev := out[i-1]
+			if prev >= 'a' && prev <= 'z' {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteRune(r)
+	}
+	return strings.ToLower(strings.Join(strings.Fields(b.String()), " "))
+}
+
+// Graph returns the schema's table graph: one node per table, one
+// undirected edge per foreign key. Node order is deterministic.
+type Graph struct {
+	Nodes []string
+	Edges map[string][]string // adjacency, keys and values are table names
+}
+
+// Graph builds the table graph of the schema.
+func (s *Schema) Graph() *Graph {
+	g := &Graph{Edges: map[string][]string{}}
+	for _, t := range s.Tables {
+		g.Nodes = append(g.Nodes, t.Name)
+	}
+	add := func(a, b string) {
+		g.Edges[a] = append(g.Edges[a], b)
+	}
+	for _, fk := range s.ForeignKeys {
+		add(fk.Table, fk.RefTable)
+		add(fk.RefTable, fk.Table)
+	}
+	for k := range g.Edges {
+		sort.Strings(g.Edges[k])
+	}
+	return g
+}
+
+// Subgraph returns the induced subgraph over the given table names.
+func (g *Graph) Subgraph(tables []string) *Graph {
+	want := map[string]bool{}
+	for _, t := range tables {
+		want[strings.ToLower(t)] = true
+	}
+	out := &Graph{Edges: map[string][]string{}}
+	for _, n := range g.Nodes {
+		if want[strings.ToLower(n)] {
+			out.Nodes = append(out.Nodes, n)
+		}
+	}
+	for _, n := range out.Nodes {
+		for _, m := range g.Edges[n] {
+			if want[strings.ToLower(m)] {
+				out.Edges[n] = append(out.Edges[n], m)
+			}
+		}
+	}
+	return out
+}
+
+// Degrees returns the sorted degree sequence of the graph, the cheap
+// invariant used before attempting isomorphism matching.
+func (g *Graph) Degrees() []int {
+	out := make([]int, 0, len(g.Nodes))
+	for _, n := range g.Nodes {
+		out = append(out, len(g.Edges[n]))
+	}
+	sort.Ints(out)
+	return out
+}

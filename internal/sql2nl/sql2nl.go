@@ -1,0 +1,191 @@
+// Package sql2nl implements the "simple" SQL-to-NL back-translation that
+// the paper uses as its ablation baseline (§I, Fig 2; §V-A4, Fig 9): a
+// direct description of the query surface with no data grounding. Its
+// explanations read fluently but — exactly as the paper argues — carry no
+// information beyond the NL and SQL components, which makes them weak
+// feedback for verification.
+package sql2nl
+
+import (
+	"fmt"
+	"strings"
+
+	"cyclesql/internal/provenance"
+	"cyclesql/internal/schema"
+	"cyclesql/internal/sqlast"
+)
+
+// Describe renders the query surface as an NL sentence. It intentionally
+// consumes only the SQL text and the schema, never the database instance.
+func Describe(s *schema.Schema, stmt *sqlast.SelectStmt) string {
+	parts := make([]string, 0, len(stmt.Cores))
+	for i, core := range stmt.Cores {
+		text := describeCore(s, core)
+		if i > 0 {
+			switch stmt.Ops[i-1] {
+			case sqlast.Intersect:
+				text = "that also satisfy: " + text
+			case sqlast.Except:
+				text = "excluding those where: " + text
+			default:
+				text = "or: " + text
+			}
+		}
+		parts = append(parts, text)
+	}
+	out := strings.Join(parts, " ")
+	out = strings.ToUpper(out[:1]) + out[1:]
+	if !strings.HasSuffix(out, ".") {
+		out += "."
+	}
+	return out
+}
+
+func describeCore(s *schema.Schema, core *sqlast.SelectCore) string {
+	var b strings.Builder
+	b.WriteString("find ")
+	if core.Distinct {
+		b.WriteString("the distinct ")
+	}
+	b.WriteString(itemsPhrase(core))
+	// FROM phrase.
+	tables := core.Tables()
+	if len(tables) > 0 {
+		b.WriteString(" from ")
+		names := make([]string, 0, len(tables))
+		for _, t := range tables {
+			if t.Name == "" {
+				continue
+			}
+			if st := s.Table(t.Name); st != nil {
+				names = append(names, st.Natural())
+			} else {
+				names = append(names, schema.Naturalize(t.Name))
+			}
+		}
+		b.WriteString(strings.Join(names, " joined with "))
+	}
+	if fs := provenance.Filters(core); len(fs) > 0 {
+		b.WriteString(" where ")
+		for i, f := range fs {
+			if i > 0 {
+				b.WriteString(" and ")
+			}
+			fmt.Fprintf(&b, "%s %s %s", schema.Naturalize(f.Column.Column), opWord(f.Op), f.Value.String())
+		}
+	}
+	// Membership and pattern predicates.
+	for _, c := range sqlast.Conjuncts(core.Where) {
+		switch x := c.(type) {
+		case *sqlast.InExpr:
+			cr, ok := x.X.(*sqlast.ColumnRef)
+			if !ok {
+				continue
+			}
+			if x.Not {
+				fmt.Fprintf(&b, " where %s is not in the given set", schema.Naturalize(cr.Column))
+			} else {
+				fmt.Fprintf(&b, " where %s is in the given set", schema.Naturalize(cr.Column))
+			}
+		case *sqlast.ExistsExpr:
+			if x.Not {
+				b.WriteString(" with no matching related rows")
+			} else {
+				b.WriteString(" with matching related rows")
+			}
+		}
+	}
+	if len(core.GroupBy) > 0 {
+		keys := make([]string, 0, len(core.GroupBy))
+		for _, g := range core.GroupBy {
+			if cr, ok := g.(*sqlast.ColumnRef); ok {
+				keys = append(keys, schema.Naturalize(cr.Column))
+			}
+		}
+		fmt.Fprintf(&b, " for each %s", strings.Join(keys, " and "))
+	}
+	if core.Having != nil {
+		fmt.Fprintf(&b, " keeping groups with %s", strings.ToLower(sqlast.ExprSQL(core.Having)))
+	}
+	if len(core.OrderBy) > 0 {
+		dirs := make([]string, 0, len(core.OrderBy))
+		for _, o := range core.OrderBy {
+			d := "ascending"
+			if o.Desc {
+				d = "descending"
+			}
+			dirs = append(dirs, fmt.Sprintf("%s %s", strings.ToLower(sqlast.ExprSQL(o.Expr)), d))
+		}
+		fmt.Fprintf(&b, " ordered by %s", strings.Join(dirs, ", "))
+	}
+	if core.Limit != nil {
+		fmt.Fprintf(&b, " returning the top %d", *core.Limit)
+	}
+	return b.String()
+}
+
+func itemsPhrase(core *sqlast.SelectCore) string {
+	var parts []string
+	for _, it := range core.Items {
+		switch {
+		case it.Star:
+			parts = append(parts, "all information")
+		default:
+			switch x := it.Expr.(type) {
+			case *sqlast.ColumnRef:
+				parts = append(parts, "the "+schema.Naturalize(x.Column))
+			case *sqlast.FuncCall:
+				name := strings.ToLower(x.Name)
+				if x.Star || len(x.Args) == 0 {
+					parts = append(parts, "the "+aggWord(name)+" of rows")
+				} else {
+					parts = append(parts, fmt.Sprintf("the %s of %s", aggWord(name), schema.Naturalize(sqlast.ExprSQL(x.Args[0]))))
+				}
+			default:
+				parts = append(parts, strings.ToLower(sqlast.ExprSQL(it.Expr)))
+			}
+		}
+	}
+	if len(parts) == 0 {
+		return "the rows"
+	}
+	return strings.Join(parts, " and ")
+}
+
+func aggWord(fn string) string {
+	switch fn {
+	case "count":
+		return "number"
+	case "sum":
+		return "total"
+	case "avg":
+		return "average"
+	case "min":
+		return "minimum"
+	case "max":
+		return "maximum"
+	}
+	return fn
+}
+
+func opWord(op string) string {
+	switch op {
+	case "=":
+		return "is"
+	case "!=", "<>":
+		return "is not"
+	case "<":
+		return "is less than"
+	case "<=":
+		return "is at most"
+	case ">":
+		return "is greater than"
+	case ">=":
+		return "is at least"
+	case "LIKE":
+		return "is like"
+	case "NOT LIKE":
+		return "is not like"
+	}
+	return op
+}

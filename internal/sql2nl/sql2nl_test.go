@@ -1,0 +1,83 @@
+package sql2nl
+
+import (
+	"strings"
+	"testing"
+
+	"cyclesql/internal/datasets"
+	"cyclesql/internal/sqlparse"
+)
+
+func describe(t *testing.T, sql string) string {
+	t.Helper()
+	db := datasets.FlightDB()
+	return Describe(db.Schema, sqlparse.MustParse(sql))
+}
+
+// The paper's Fig 2 point: the SQL2NL description of the erroneous count
+// query reads plausibly ("the number of flights...") with no hint that the
+// data contradicts the question.
+func TestDescribePaperExample(t *testing.T) {
+	got := describe(t, "SELECT count(*) FROM flight AS T1 JOIN aircraft AS T2 ON T1.aid = T2.aid WHERE T2.name = 'Airbus A340-300'")
+	lower := strings.ToLower(got)
+	for _, want := range []string{"number", "flight", "aircraft", "airbus a340-300"} {
+		if !strings.Contains(lower, want) {
+			t.Fatalf("missing %q in %q", want, got)
+		}
+	}
+	// Data-blindness: no concrete count value appears.
+	if strings.Contains(got, " 2 ") {
+		t.Fatalf("sql2nl must not ground data values: %q", got)
+	}
+}
+
+func TestDescribeClauses(t *testing.T) {
+	got := describe(t, "SELECT DISTINCT origin FROM flight GROUP BY origin ORDER BY origin DESC LIMIT 3")
+	lower := strings.ToLower(got)
+	for _, want := range []string{"distinct", "for each origin", "descending", "top 3"} {
+		if !strings.Contains(lower, want) {
+			t.Fatalf("missing %q in %q", want, got)
+		}
+	}
+}
+
+func TestDescribeAggregates(t *testing.T) {
+	got := describe(t, "SELECT avg(distance), max(distance) FROM aircraft")
+	lower := strings.ToLower(got)
+	if !strings.Contains(lower, "average") || !strings.Contains(lower, "maximum") {
+		t.Fatalf("aggregate words missing: %q", got)
+	}
+}
+
+func TestDescribeSetOps(t *testing.T) {
+	got := describe(t, "SELECT origin FROM flight INTERSECT SELECT destination FROM flight")
+	if !strings.Contains(got, "also satisfy") {
+		t.Fatalf("intersect connective missing: %q", got)
+	}
+	got = describe(t, "SELECT origin FROM flight EXCEPT SELECT destination FROM flight")
+	if !strings.Contains(got, "excluding") {
+		t.Fatalf("except connective missing: %q", got)
+	}
+}
+
+func TestDescribeMembershipAndExists(t *testing.T) {
+	got := describe(t, "SELECT name FROM aircraft WHERE aid NOT IN (SELECT aid FROM flight)")
+	if !strings.Contains(got, "not in the given set") {
+		t.Fatalf("not-in phrase missing: %q", got)
+	}
+}
+
+func TestDescribeEndsWithPeriodAndCapital(t *testing.T) {
+	got := describe(t, "SELECT name FROM aircraft")
+	if !strings.HasSuffix(got, ".") || got[0] < 'A' || got[0] > 'Z' {
+		t.Fatalf("surface form: %q", got)
+	}
+}
+
+func TestDescribeDeterministic(t *testing.T) {
+	a := describe(t, "SELECT name FROM aircraft WHERE distance > 4000")
+	b := describe(t, "SELECT name FROM aircraft WHERE distance > 4000")
+	if a != b {
+		t.Fatal("must be deterministic")
+	}
+}

@@ -1,0 +1,235 @@
+package sqlast
+
+import (
+	"strconv"
+	"strings"
+)
+
+// SQL renders the statement back to SQL text. Rendering is deterministic,
+// so rendered text is safe to use as a cache key; it is re-parseable by
+// sqlparse (round-trip property covered by tests).
+func (s *SelectStmt) SQL() string {
+	var b strings.Builder
+	for i, core := range s.Cores {
+		if i > 0 {
+			b.WriteByte(' ')
+			b.WriteString(string(s.Ops[i-1]))
+			b.WriteByte(' ')
+		}
+		core.render(&b)
+	}
+	return b.String()
+}
+
+func (c *SelectCore) render(b *strings.Builder) {
+	b.WriteString("SELECT ")
+	if c.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range c.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.SQL())
+	}
+	if c.From != nil {
+		b.WriteString(" FROM ")
+		b.WriteString(c.From.Base.SQL())
+		for _, j := range c.From.Joins {
+			b.WriteByte(' ')
+			b.WriteString(string(j.Type))
+			b.WriteByte(' ')
+			b.WriteString(j.Table.SQL())
+			if j.On != nil {
+				b.WriteString(" ON ")
+				b.WriteString(ExprSQL(j.On))
+			}
+		}
+	}
+	if c.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(ExprSQL(c.Where))
+	}
+	if len(c.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range c.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(ExprSQL(g))
+		}
+	}
+	if c.Having != nil {
+		b.WriteString(" HAVING ")
+		b.WriteString(ExprSQL(c.Having))
+	}
+	if len(c.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range c.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(ExprSQL(o.Expr))
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if c.Limit != nil {
+		b.WriteString(" LIMIT ")
+		b.WriteString(strconv.FormatInt(*c.Limit, 10))
+	}
+	if c.Offset != nil {
+		b.WriteString(" OFFSET ")
+		b.WriteString(strconv.FormatInt(*c.Offset, 10))
+	}
+}
+
+// SQL renders a projection item.
+func (it SelectItem) SQL() string {
+	var s string
+	switch {
+	case it.Star && it.TableStar != "":
+		s = it.TableStar + ".*"
+	case it.Star:
+		s = "*"
+	default:
+		s = ExprSQL(it.Expr)
+	}
+	if it.Alias != "" {
+		s += " AS " + it.Alias
+	}
+	return s
+}
+
+// SQL renders a table reference.
+func (t TableRef) SQL() string {
+	var s string
+	if t.Sub != nil {
+		s = "(" + t.Sub.SQL() + ")"
+	} else {
+		s = t.Name
+	}
+	if t.Alias != "" {
+		s += " AS " + t.Alias
+	}
+	return s
+}
+
+// precedence for minimal parenthesization; higher binds tighter.
+func precedence(op string) int {
+	switch op {
+	case "OR":
+		return 1
+	case "AND":
+		return 2
+	case "=", "!=", "<>", "<", "<=", ">", ">=":
+		return 3
+	case "+", "-":
+		return 4
+	case "*", "/", "%":
+		return 5
+	default:
+		return 6
+	}
+}
+
+// ExprSQL renders an expression to SQL text.
+func ExprSQL(e Expr) string {
+	if e == nil {
+		return ""
+	}
+	switch x := e.(type) {
+	case *ColumnRef:
+		if x.Table != "" {
+			return x.Table + "." + x.Column
+		}
+		return x.Column
+	case *Literal:
+		return x.Value.SQLLiteral()
+	case *Unary:
+		if x.Op == "NOT" {
+			return "NOT " + maybeParen(x.X, 6)
+		}
+		return x.Op + maybeParen(x.X, 6)
+	case *Binary:
+		p := precedence(x.Op)
+		return maybeParen(x.L, p) + " " + x.Op + " " + maybeParenRight(x.R, p)
+	case *FuncCall:
+		var inner string
+		switch {
+		case x.Star:
+			inner = "*"
+		default:
+			parts := make([]string, len(x.Args))
+			for i, a := range x.Args {
+				parts[i] = ExprSQL(a)
+			}
+			inner = strings.Join(parts, ", ")
+		}
+		if x.Distinct {
+			inner = "DISTINCT " + inner
+		}
+		return x.Name + "(" + inner + ")"
+	case *InExpr:
+		var rhs string
+		if x.Sub != nil {
+			rhs = "(" + x.Sub.SQL() + ")"
+		} else {
+			parts := make([]string, len(x.List))
+			for i, a := range x.List {
+				parts[i] = ExprSQL(a)
+			}
+			rhs = "(" + strings.Join(parts, ", ") + ")"
+		}
+		op := " IN "
+		if x.Not {
+			op = " NOT IN "
+		}
+		return maybeParen(x.X, 3) + op + rhs
+	case *LikeExpr:
+		op := " LIKE "
+		if x.Not {
+			op = " NOT LIKE "
+		}
+		return maybeParen(x.X, 3) + op + ExprSQL(x.Pattern)
+	case *BetweenExpr:
+		op := " BETWEEN "
+		if x.Not {
+			op = " NOT BETWEEN "
+		}
+		return maybeParen(x.X, 3) + op + ExprSQL(x.Lo) + " AND " + ExprSQL(x.Hi)
+	case *IsNullExpr:
+		op := " IS NULL"
+		if x.Not {
+			op = " IS NOT NULL"
+		}
+		return maybeParen(x.X, 3) + op
+	case *ExistsExpr:
+		prefix := "EXISTS "
+		if x.Not {
+			prefix = "NOT EXISTS "
+		}
+		return prefix + "(" + x.Sub.SQL() + ")"
+	case *SubqueryExpr:
+		return "(" + x.Sub.SQL() + ")"
+	default:
+		return "?"
+	}
+}
+
+func maybeParen(e Expr, parentPrec int) string {
+	if b, ok := e.(*Binary); ok && precedence(b.Op) < parentPrec {
+		return "(" + ExprSQL(e) + ")"
+	}
+	return ExprSQL(e)
+}
+
+// maybeParenRight parenthesizes right operands at equal precedence too, so
+// non-associative trees such as a - (b - c) survive the round trip.
+func maybeParenRight(e Expr, parentPrec int) string {
+	if b, ok := e.(*Binary); ok && precedence(b.Op) <= parentPrec && parentPrec >= 3 {
+		return "(" + ExprSQL(e) + ")"
+	}
+	return maybeParen(e, parentPrec)
+}

@@ -1,0 +1,324 @@
+// Package sqleval executes sqlast statements against a storage.Database.
+// It implements the full Spider dialect: nested-loop joins (inner and
+// left), tri-state WHERE logic, grouping with HAVING, the five SQL
+// aggregates with DISTINCT, ordering, limits, set operations, and
+// correlated subqueries (IN, EXISTS, scalar).
+//
+// The executor is deliberately a straightforward tuple-at-a-time
+// interpreter: benchmark databases hold hundreds to thousands of rows, and
+// the provenance tracker depends on the executor's simple, auditable
+// semantics more than on throughput.
+package sqleval
+
+import (
+	"fmt"
+	"strings"
+
+	"cyclesql/internal/sqlast"
+	"cyclesql/internal/sqltypes"
+	"cyclesql/internal/storage"
+)
+
+// Executor evaluates SELECT statements against one database.
+type Executor struct {
+	db *storage.Database
+	// depth guards against pathological recursion from corrupted queries.
+	depth int
+}
+
+// New returns an executor over db.
+func New(db *storage.Database) *Executor { return &Executor{db: db} }
+
+// maxSubqueryDepth bounds nesting; benchmark queries nest at most 3 deep.
+const maxSubqueryDepth = 16
+
+// Exec runs the statement and returns its result relation.
+func (ex *Executor) Exec(stmt *sqlast.SelectStmt) (*sqltypes.Relation, error) {
+	return ex.execStmt(stmt, nil)
+}
+
+// ExecSQL parses nothing; it is a convenience that runs an already-parsed
+// statement and panics on nil. Kept separate so hot paths avoid re-parse.
+func (ex *Executor) execStmt(stmt *sqlast.SelectStmt, outer *env) (*sqltypes.Relation, error) {
+	if stmt == nil || len(stmt.Cores) == 0 {
+		return nil, fmt.Errorf("sqleval: empty statement")
+	}
+	ex.depth++
+	defer func() { ex.depth-- }()
+	if ex.depth > maxSubqueryDepth {
+		return nil, fmt.Errorf("sqleval: subquery nesting exceeds %d", maxSubqueryDepth)
+	}
+	result, err := ex.execCore(stmt.Cores[0], outer)
+	if err != nil {
+		return nil, err
+	}
+	for i, op := range stmt.Ops {
+		rhs, err := ex.execCore(stmt.Cores[i+1], outer)
+		if err != nil {
+			return nil, err
+		}
+		result, err = combine(result, rhs, op)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return result, nil
+}
+
+func combine(l, r *sqltypes.Relation, op sqlast.CompoundOp) (*sqltypes.Relation, error) {
+	if l.NumCols() != r.NumCols() {
+		return nil, fmt.Errorf("sqleval: %s operands have %d vs %d columns", op, l.NumCols(), r.NumCols())
+	}
+	out := sqltypes.NewRelation(l.Columns...)
+	switch op {
+	case sqlast.UnionAll:
+		out.Rows = append(append(out.Rows, l.Rows...), r.Rows...)
+	case sqlast.Union:
+		seen := map[string]bool{}
+		for _, rows := range [][]sqltypes.Row{l.Rows, r.Rows} {
+			for _, row := range rows {
+				k := row.Key()
+				if !seen[k] {
+					seen[k] = true
+					out.Append(row)
+				}
+			}
+		}
+	case sqlast.Intersect:
+		inR := map[string]bool{}
+		for _, row := range r.Rows {
+			inR[row.Key()] = true
+		}
+		seen := map[string]bool{}
+		for _, row := range l.Rows {
+			k := row.Key()
+			if inR[k] && !seen[k] {
+				seen[k] = true
+				out.Append(row)
+			}
+		}
+	case sqlast.Except:
+		inR := map[string]bool{}
+		for _, row := range r.Rows {
+			inR[row.Key()] = true
+		}
+		seen := map[string]bool{}
+		for _, row := range l.Rows {
+			k := row.Key()
+			if !inR[k] && !seen[k] {
+				seen[k] = true
+				out.Append(row)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("sqleval: unknown set operation %q", op)
+	}
+	return out, nil
+}
+
+// binding is one table's worth of columns inside a row environment.
+type binding struct {
+	name string // effective (alias or table) name, lower-case
+	cols []string
+	vals sqltypes.Row
+}
+
+// env is a row environment: the current joined row plus the enclosing
+// query's environment for correlated subqueries.
+type env struct {
+	bindings []binding
+	parent   *env
+}
+
+func (e *env) lookup(table, column string) (sqltypes.Value, bool) {
+	tl, cl := strings.ToLower(table), strings.ToLower(column)
+	for cur := e; cur != nil; cur = cur.parent {
+		for bi := range cur.bindings {
+			b := &cur.bindings[bi]
+			if tl != "" && b.name != tl {
+				continue
+			}
+			for ci, c := range b.cols {
+				if c == cl {
+					return b.vals[ci], true
+				}
+			}
+		}
+	}
+	return sqltypes.Value{}, false
+}
+
+// frame is the working set of joined rows plus binding metadata.
+type frame struct {
+	bindings []bindingMeta
+	rows     []sqltypes.Row // flattened: concatenation of all bindings' columns
+	// pendingLeft holds the pre-join left rows between joinTable and
+	// applyJoinCondition so LEFT JOIN can null-extend unmatched rows.
+	pendingLeft []sqltypes.Row
+}
+
+type bindingMeta struct {
+	name   string
+	cols   []string
+	offset int
+	width  int
+}
+
+func (f *frame) env(row sqltypes.Row, parent *env) *env {
+	e := &env{parent: parent}
+	for _, b := range f.bindings {
+		e.bindings = append(e.bindings, binding{name: b.name, cols: b.cols, vals: row[b.offset : b.offset+b.width]})
+	}
+	return e
+}
+
+func (ex *Executor) execCore(core *sqlast.SelectCore, outer *env) (*sqltypes.Relation, error) {
+	f, err := ex.buildFrom(core, outer)
+	if err != nil {
+		return nil, err
+	}
+	// WHERE.
+	if core.Where != nil {
+		kept := f.rows[:0:0]
+		for _, row := range f.rows {
+			v, err := ex.eval(core.Where, f.env(row, outer), nil)
+			if err != nil {
+				return nil, err
+			}
+			if v.Truthy() {
+				kept = append(kept, row)
+			}
+		}
+		f.rows = kept
+	}
+	if len(core.GroupBy) > 0 || core.HasAggregate() {
+		return ex.projectGrouped(core, f, outer)
+	}
+	return ex.projectPlain(core, f, outer)
+}
+
+func (ex *Executor) buildFrom(core *sqlast.SelectCore, outer *env) (*frame, error) {
+	f := &frame{}
+	if core.From == nil {
+		// SELECT without FROM evaluates items once over an empty env.
+		f.rows = []sqltypes.Row{{}}
+		return f, nil
+	}
+	if err := ex.joinTable(f, core.From.Base, outer, true, nil); err != nil {
+		return nil, err
+	}
+	for _, j := range core.From.Joins {
+		left := j.Type == sqlast.LeftJoin
+		if err := ex.joinTable(f, j.Table, outer, false, nil); err != nil {
+			return nil, err
+		}
+		if j.On != nil || left {
+			if err := ex.applyJoinCondition(f, j.On, outer, left); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return f, nil
+}
+
+// joinTable cross-joins a table (or derived table) into the frame. The ON
+// condition, when present, is applied by applyJoinCondition afterwards so
+// LEFT JOIN can emit null-extended rows.
+func (ex *Executor) joinTable(f *frame, ref sqlast.TableRef, outer *env, first bool, _ any) error {
+	var cols []string
+	var rows []sqltypes.Row
+	if ref.Sub != nil {
+		rel, err := ex.execStmt(ref.Sub, outer)
+		if err != nil {
+			return err
+		}
+		cols = make([]string, len(rel.Columns))
+		for i, c := range rel.Columns {
+			// Strip qualifiers so derived-table columns bind by bare name.
+			if dot := strings.LastIndexByte(c, '.'); dot >= 0 {
+				c = c[dot+1:]
+			}
+			cols[i] = strings.ToLower(c)
+		}
+		rows = rel.Rows
+	} else {
+		rel := ex.db.Table(ref.Name)
+		if rel == nil {
+			return fmt.Errorf("sqleval: unknown table %q", ref.Name)
+		}
+		cols = make([]string, len(rel.Columns))
+		for i, c := range rel.Columns {
+			cols[i] = strings.ToLower(c)
+		}
+		rows = rel.Rows
+	}
+	name := strings.ToLower(ref.Effective())
+	meta := bindingMeta{name: name, cols: cols, width: len(cols)}
+	if first {
+		f.bindings = []bindingMeta{meta}
+		f.rows = make([]sqltypes.Row, len(rows))
+		for i, r := range rows {
+			f.rows[i] = r.Clone()
+		}
+		return nil
+	}
+	meta.offset = f.width()
+	f.bindings = append(f.bindings, meta)
+	var joined []sqltypes.Row
+	for _, lrow := range f.rows {
+		for _, rrow := range rows {
+			combined := make(sqltypes.Row, 0, len(lrow)+len(rrow))
+			combined = append(append(combined, lrow...), rrow...)
+			joined = append(joined, combined)
+		}
+	}
+	// Preserve left rows with no right partner for later LEFT JOIN fixup:
+	// handled in applyJoinCondition via the bookkeeping below.
+	f.pendingLeft = f.rows
+	f.rows = joined
+	return nil
+}
+
+func (f *frame) width() int {
+	n := 0
+	for _, b := range f.bindings {
+		n += b.width
+	}
+	return n
+}
+
+// pendingLeft holds the pre-join left rows for LEFT JOIN null extension.
+// It lives on frame to avoid threading an extra return value.
+func (ex *Executor) applyJoinCondition(f *frame, on sqlast.Expr, outer *env, left bool) error {
+	last := f.bindings[len(f.bindings)-1]
+	matched := make(map[string]bool)
+	var kept []sqltypes.Row
+	for _, row := range f.rows {
+		ok := true
+		if on != nil {
+			v, err := ex.eval(on, f.env(row, outer), nil)
+			if err != nil {
+				return err
+			}
+			ok = v.Truthy()
+		}
+		if ok {
+			kept = append(kept, row)
+			if left {
+				matched[row[:last.offset].Key()] = true
+			}
+		}
+	}
+	if left {
+		for _, lrow := range f.pendingLeft {
+			if !matched[lrow.Key()] {
+				extended := make(sqltypes.Row, last.offset+last.width)
+				copy(extended, lrow)
+				kept = append(kept, extended) // trailing values are NULL
+			}
+		}
+	}
+	f.rows = kept
+	f.pendingLeft = nil
+	return nil
+}

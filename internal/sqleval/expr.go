@@ -1,0 +1,409 @@
+package sqleval
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"cyclesql/internal/sqlast"
+	"cyclesql/internal/sqltypes"
+)
+
+// eval evaluates an expression in a row environment. grp is non-nil inside
+// grouped projection, giving aggregate calls access to their group's rows.
+// SQL tri-state logic is represented with NULL as the unknown truth value.
+func (ex *Executor) eval(e sqlast.Expr, env *env, grp *groupCtx) (sqltypes.Value, error) {
+	switch x := e.(type) {
+	case *sqlast.Literal:
+		return x.Value, nil
+	case *sqlast.ColumnRef:
+		if x.Column == "*" {
+			return sqltypes.Value{}, fmt.Errorf("sqleval: bare * outside COUNT")
+		}
+		if v, ok := env.lookup(x.Table, x.Column); ok {
+			return v, nil
+		}
+		return sqltypes.Value{}, fmt.Errorf("sqleval: unknown column %s", sqlast.ExprSQL(x))
+	case *sqlast.Unary:
+		v, err := ex.eval(x.X, env, grp)
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		if x.Op == "NOT" {
+			if v.IsNull() {
+				return sqltypes.Null(), nil
+			}
+			return sqltypes.NewBool(!v.Truthy()), nil
+		}
+		f, ok := v.AsFloat()
+		if !ok {
+			return sqltypes.Null(), nil
+		}
+		if v.Kind() == sqltypes.KindInt {
+			return sqltypes.NewInt(-v.Int()), nil
+		}
+		return sqltypes.NewFloat(-f), nil
+	case *sqlast.Binary:
+		return ex.evalBinary(x, env, grp)
+	case *sqlast.FuncCall:
+		return ex.evalFunc(x, env, grp)
+	case *sqlast.InExpr:
+		return ex.evalIn(x, env, grp)
+	case *sqlast.LikeExpr:
+		v, err := ex.eval(x.X, env, grp)
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		p, err := ex.eval(x.Pattern, env, grp)
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		if v.IsNull() || p.IsNull() {
+			return sqltypes.Null(), nil
+		}
+		m := likeMatch(strings.ToLower(v.String()), strings.ToLower(p.String()))
+		return sqltypes.NewBool(m != x.Not), nil
+	case *sqlast.BetweenExpr:
+		v, err := ex.eval(x.X, env, grp)
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		lo, err := ex.eval(x.Lo, env, grp)
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		hi, err := ex.eval(x.Hi, env, grp)
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		if v.IsNull() || lo.IsNull() || hi.IsNull() {
+			return sqltypes.Null(), nil
+		}
+		in := sqltypes.Compare(v, lo) >= 0 && sqltypes.Compare(v, hi) <= 0
+		return sqltypes.NewBool(in != x.Not), nil
+	case *sqlast.IsNullExpr:
+		v, err := ex.eval(x.X, env, grp)
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		return sqltypes.NewBool(v.IsNull() != x.Not), nil
+	case *sqlast.ExistsExpr:
+		rel, err := ex.execStmt(x.Sub, env)
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		return sqltypes.NewBool((rel.NumRows() > 0) != x.Not), nil
+	case *sqlast.SubqueryExpr:
+		rel, err := ex.execStmt(x.Sub, env)
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		if rel.NumRows() == 0 || rel.NumCols() == 0 {
+			return sqltypes.Null(), nil
+		}
+		return rel.Rows[0][0], nil
+	case nil:
+		return sqltypes.Value{}, fmt.Errorf("sqleval: nil expression")
+	default:
+		return sqltypes.Value{}, fmt.Errorf("sqleval: unsupported expression %T", e)
+	}
+}
+
+func (ex *Executor) evalBinary(x *sqlast.Binary, env *env, grp *groupCtx) (sqltypes.Value, error) {
+	switch x.Op {
+	case "AND", "OR":
+		l, err := ex.eval(x.L, env, grp)
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		// Kleene three-valued logic with short-circuiting on the
+		// determining value.
+		if x.Op == "AND" && !l.IsNull() && !l.Truthy() {
+			return sqltypes.NewBool(false), nil
+		}
+		if x.Op == "OR" && l.Truthy() {
+			return sqltypes.NewBool(true), nil
+		}
+		r, err := ex.eval(x.R, env, grp)
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		if x.Op == "AND" {
+			if !r.IsNull() && !r.Truthy() {
+				return sqltypes.NewBool(false), nil
+			}
+			if l.IsNull() || r.IsNull() {
+				return sqltypes.Null(), nil
+			}
+			return sqltypes.NewBool(true), nil
+		}
+		if r.Truthy() {
+			return sqltypes.NewBool(true), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return sqltypes.Null(), nil
+		}
+		return sqltypes.NewBool(false), nil
+	}
+	l, err := ex.eval(x.L, env, grp)
+	if err != nil {
+		return sqltypes.Value{}, err
+	}
+	r, err := ex.eval(x.R, env, grp)
+	if err != nil {
+		return sqltypes.Value{}, err
+	}
+	switch x.Op {
+	case "=", "!=", "<>", "<", "<=", ">", ">=":
+		if l.IsNull() || r.IsNull() {
+			return sqltypes.Null(), nil
+		}
+		c := sqltypes.Compare(l, r)
+		var b bool
+		switch x.Op {
+		case "=":
+			b = c == 0
+		case "!=", "<>":
+			b = c != 0
+		case "<":
+			b = c < 0
+		case "<=":
+			b = c <= 0
+		case ">":
+			b = c > 0
+		case ">=":
+			b = c >= 0
+		}
+		return sqltypes.NewBool(b), nil
+	case "+", "-", "*", "/", "%":
+		return arith(x.Op, l, r), nil
+	default:
+		return sqltypes.Value{}, fmt.Errorf("sqleval: unknown operator %q", x.Op)
+	}
+}
+
+func arith(op string, l, r sqltypes.Value) sqltypes.Value {
+	if l.IsNull() || r.IsNull() {
+		return sqltypes.Null()
+	}
+	lf, lok := l.AsFloat()
+	rf, rok := r.AsFloat()
+	if !lok || !rok {
+		return sqltypes.Null()
+	}
+	bothInt := l.Kind() == sqltypes.KindInt && r.Kind() == sqltypes.KindInt
+	switch op {
+	case "+":
+		if bothInt {
+			return sqltypes.NewInt(l.Int() + r.Int())
+		}
+		return sqltypes.NewFloat(lf + rf)
+	case "-":
+		if bothInt {
+			return sqltypes.NewInt(l.Int() - r.Int())
+		}
+		return sqltypes.NewFloat(lf - rf)
+	case "*":
+		if bothInt {
+			return sqltypes.NewInt(l.Int() * r.Int())
+		}
+		return sqltypes.NewFloat(lf * rf)
+	case "/":
+		if rf == 0 {
+			return sqltypes.Null()
+		}
+		if bothInt {
+			return sqltypes.NewInt(l.Int() / r.Int())
+		}
+		return sqltypes.NewFloat(lf / rf)
+	case "%":
+		if rf == 0 {
+			return sqltypes.Null()
+		}
+		if bothInt {
+			return sqltypes.NewInt(l.Int() % r.Int())
+		}
+		return sqltypes.NewFloat(math.Mod(lf, rf))
+	}
+	return sqltypes.Null()
+}
+
+func (ex *Executor) evalIn(x *sqlast.InExpr, env *env, grp *groupCtx) (sqltypes.Value, error) {
+	v, err := ex.eval(x.X, env, grp)
+	if err != nil {
+		return sqltypes.Value{}, err
+	}
+	var members []sqltypes.Value
+	if x.Sub != nil {
+		rel, err := ex.execStmt(x.Sub, env)
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		for _, row := range rel.Rows {
+			if len(row) > 0 {
+				members = append(members, row[0])
+			}
+		}
+	} else {
+		for _, le := range x.List {
+			m, err := ex.eval(le, env, grp)
+			if err != nil {
+				return sqltypes.Value{}, err
+			}
+			members = append(members, m)
+		}
+	}
+	if v.IsNull() {
+		return sqltypes.Null(), nil
+	}
+	found := false
+	sawNull := false
+	for _, m := range members {
+		if m.IsNull() {
+			sawNull = true
+			continue
+		}
+		if sqltypes.Compare(v, m) == 0 {
+			found = true
+			break
+		}
+	}
+	if !found && sawNull {
+		return sqltypes.Null(), nil
+	}
+	return sqltypes.NewBool(found != x.Not), nil
+}
+
+func (ex *Executor) evalFunc(x *sqlast.FuncCall, env *env, grp *groupCtx) (sqltypes.Value, error) {
+	if x.IsAggregate() {
+		if grp == nil {
+			return sqltypes.Value{}, fmt.Errorf("sqleval: aggregate %s outside grouped context", x.Name)
+		}
+		return ex.evalAggregate(x, grp)
+	}
+	switch x.Name {
+	case "ABS":
+		if len(x.Args) != 1 {
+			return sqltypes.Value{}, fmt.Errorf("sqleval: ABS expects 1 argument")
+		}
+		v, err := ex.eval(x.Args[0], env, grp)
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		if v.IsNull() {
+			return sqltypes.Null(), nil
+		}
+		if v.Kind() == sqltypes.KindInt {
+			if v.Int() < 0 {
+				return sqltypes.NewInt(-v.Int()), nil
+			}
+			return v, nil
+		}
+		f, ok := v.AsFloat()
+		if !ok {
+			return sqltypes.Null(), nil
+		}
+		return sqltypes.NewFloat(math.Abs(f)), nil
+	default:
+		return sqltypes.Value{}, fmt.Errorf("sqleval: unknown function %s", x.Name)
+	}
+}
+
+func (ex *Executor) evalAggregate(x *sqlast.FuncCall, grp *groupCtx) (sqltypes.Value, error) {
+	// COUNT(*) counts rows directly.
+	if x.Star {
+		if x.Name != "COUNT" {
+			return sqltypes.Value{}, fmt.Errorf("sqleval: %s(*) is not valid", x.Name)
+		}
+		return sqltypes.NewInt(int64(len(grp.rows))), nil
+	}
+	if len(x.Args) != 1 {
+		return sqltypes.Value{}, fmt.Errorf("sqleval: aggregate %s expects 1 argument", x.Name)
+	}
+	var vals []sqltypes.Value
+	seen := map[string]bool{}
+	for _, row := range grp.rows {
+		e := grp.f.env(row, grp.outer)
+		v, err := grp.ex.eval(x.Args[0], e, nil)
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		if v.IsNull() {
+			continue
+		}
+		if x.Distinct {
+			k := v.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		vals = append(vals, v)
+	}
+	switch x.Name {
+	case "COUNT":
+		return sqltypes.NewInt(int64(len(vals))), nil
+	case "SUM", "AVG":
+		if len(vals) == 0 {
+			return sqltypes.Null(), nil
+		}
+		sum := 0.0
+		allInt := true
+		for _, v := range vals {
+			f, ok := v.AsFloat()
+			if !ok {
+				return sqltypes.Null(), nil
+			}
+			if v.Kind() != sqltypes.KindInt {
+				allInt = false
+			}
+			sum += f
+		}
+		if x.Name == "SUM" {
+			if allInt {
+				return sqltypes.NewInt(int64(sum)), nil
+			}
+			return sqltypes.NewFloat(sum), nil
+		}
+		return sqltypes.NewFloat(sum / float64(len(vals))), nil
+	case "MIN", "MAX":
+		if len(vals) == 0 {
+			return sqltypes.Null(), nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c := sqltypes.Compare(v, best)
+			if (x.Name == "MIN" && c < 0) || (x.Name == "MAX" && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	}
+	return sqltypes.Value{}, fmt.Errorf("sqleval: unknown aggregate %s", x.Name)
+}
+
+// likeMatch implements SQL LIKE with % and _ wildcards (case folded by the
+// caller, matching SQLite's ASCII-insensitive default).
+func likeMatch(s, pattern string) bool {
+	// Dynamic-programming match over bytes; patterns are short.
+	m, n := len(s), len(pattern)
+	dp := make([]bool, m+1)
+	dp[0] = true
+	for j := 1; j <= n; j++ {
+		prevDiag := dp[0]
+		dp[0] = dp[0] && pattern[j-1] == '%'
+		for i := 1; i <= m; i++ {
+			cur := dp[i]
+			switch pattern[j-1] {
+			case '%':
+				dp[i] = dp[i] || dp[i-1]
+			case '_':
+				dp[i] = prevDiag
+			default:
+				dp[i] = prevDiag && s[i-1] == pattern[j-1]
+			}
+			prevDiag = cur
+		}
+	}
+	return dp[m]
+}

@@ -1,0 +1,265 @@
+package sqleval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cyclesql/internal/sqlast"
+	"cyclesql/internal/sqltypes"
+)
+
+// record pairs a projected output row with its ORDER BY sort keys.
+type record struct {
+	proj sqltypes.Row
+	keys sqltypes.Row
+}
+
+// expandItems resolves * and t.* projection items against the frame,
+// returning output column labels and the expressions to evaluate (nil
+// expression means positional copy from the flattened row).
+type projItem struct {
+	label string
+	expr  sqlast.Expr
+}
+
+func (ex *Executor) expandItems(core *sqlast.SelectCore, f *frame) ([]projItem, error) {
+	var items []projItem
+	for _, it := range core.Items {
+		switch {
+		case it.Star && it.TableStar == "":
+			for _, b := range f.bindings {
+				for _, c := range b.cols {
+					items = append(items, projItem{label: c, expr: &sqlast.ColumnRef{Table: b.name, Column: c}})
+				}
+			}
+		case it.Star:
+			name := strings.ToLower(it.TableStar)
+			found := false
+			for _, b := range f.bindings {
+				if b.name == name {
+					for _, c := range b.cols {
+						items = append(items, projItem{label: c, expr: &sqlast.ColumnRef{Table: b.name, Column: c}})
+					}
+					found = true
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("sqleval: unknown table %q in %s.*", it.TableStar, it.TableStar)
+			}
+		default:
+			label := it.Alias
+			if label == "" {
+				label = sqlast.ExprSQL(it.Expr)
+			}
+			items = append(items, projItem{label: label, expr: it.Expr})
+		}
+	}
+	return items, nil
+}
+
+// orderKeyExpr resolves an ORDER BY expression: positional references
+// (ORDER BY 2) and alias references resolve to the projected item; other
+// expressions evaluate in the row environment.
+func orderKeyExpr(o sqlast.OrderItem, items []projItem, coreItems []sqlast.SelectItem) (projIdx int, expr sqlast.Expr) {
+	if lit, ok := o.Expr.(*sqlast.Literal); ok && lit.Value.Kind() == sqltypes.KindInt {
+		idx := int(lit.Value.Int()) - 1
+		if idx >= 0 && idx < len(items) {
+			return idx, nil
+		}
+	}
+	if cr, ok := o.Expr.(*sqlast.ColumnRef); ok && cr.Table == "" {
+		for i, it := range coreItems {
+			if it.Alias != "" && strings.EqualFold(it.Alias, cr.Column) {
+				return i, nil
+			}
+		}
+	}
+	// Expression identical to a projection item reuses its computed value,
+	// which also lets grouped ORDER BY count(*) hit the aggregate result.
+	oSQL := sqlast.ExprSQL(o.Expr)
+	for i, it := range items {
+		if it.expr != nil && strings.EqualFold(sqlast.ExprSQL(it.expr), oSQL) {
+			return i, nil
+		}
+	}
+	return -1, o.Expr
+}
+
+func (ex *Executor) projectPlain(core *sqlast.SelectCore, f *frame, outer *env) (*sqltypes.Relation, error) {
+	items, err := ex.expandItems(core, f)
+	if err != nil {
+		return nil, err
+	}
+	records := make([]record, 0, len(f.rows))
+	for _, row := range f.rows {
+		e := f.env(row, outer)
+		proj := make(sqltypes.Row, len(items))
+		for i, it := range items {
+			v, err := ex.eval(it.expr, e, nil)
+			if err != nil {
+				return nil, err
+			}
+			proj[i] = v
+		}
+		keys := make(sqltypes.Row, len(core.OrderBy))
+		for i, o := range core.OrderBy {
+			idx, kexpr := orderKeyExpr(o, items, core.Items)
+			if kexpr == nil {
+				keys[i] = proj[idx]
+				continue
+			}
+			v, err := ex.eval(kexpr, e, nil)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = v
+		}
+		records = append(records, record{proj: proj, keys: keys})
+	}
+	return finalize(core, items, records)
+}
+
+// groupCtx gives aggregate evaluation access to the rows of one group.
+type groupCtx struct {
+	ex    *Executor
+	f     *frame
+	rows  []sqltypes.Row
+	outer *env
+}
+
+func (g *groupCtx) firstEnv() *env {
+	if len(g.rows) == 0 {
+		// Empty input with aggregates: a single all-NULL pseudo row.
+		return g.f.env(make(sqltypes.Row, g.f.width()), g.outer)
+	}
+	return g.f.env(g.rows[0], g.outer)
+}
+
+func (ex *Executor) projectGrouped(core *sqlast.SelectCore, f *frame, outer *env) (*sqltypes.Relation, error) {
+	items, err := ex.expandItems(core, f)
+	if err != nil {
+		return nil, err
+	}
+	// Partition rows into groups.
+	type group struct{ rows []sqltypes.Row }
+	var order []string
+	groups := map[string]*group{}
+	if len(core.GroupBy) == 0 {
+		groups[""] = &group{rows: f.rows}
+		order = append(order, "")
+	} else {
+		for _, row := range f.rows {
+			e := f.env(row, outer)
+			var kb strings.Builder
+			for _, gexpr := range core.GroupBy {
+				v, err := ex.eval(gexpr, e, nil)
+				if err != nil {
+					return nil, err
+				}
+				kb.WriteString(v.Key())
+				kb.WriteByte('\x01')
+			}
+			k := kb.String()
+			g, ok := groups[k]
+			if !ok {
+				g = &group{}
+				groups[k] = g
+				order = append(order, k)
+			}
+			g.rows = append(g.rows, row)
+		}
+	}
+	records := make([]record, 0, len(order))
+	for _, k := range order {
+		g := groups[k]
+		gctx := &groupCtx{ex: ex, f: f, rows: g.rows, outer: outer}
+		e := gctx.firstEnv()
+		if core.Having != nil {
+			v, err := ex.eval(core.Having, e, gctx)
+			if err != nil {
+				return nil, err
+			}
+			if !v.Truthy() {
+				continue
+			}
+		}
+		proj := make(sqltypes.Row, len(items))
+		for i, it := range items {
+			v, err := ex.eval(it.expr, e, gctx)
+			if err != nil {
+				return nil, err
+			}
+			proj[i] = v
+		}
+		keys := make(sqltypes.Row, len(core.OrderBy))
+		for i, o := range core.OrderBy {
+			idx, kexpr := orderKeyExpr(o, items, core.Items)
+			if kexpr == nil {
+				keys[i] = proj[idx]
+				continue
+			}
+			v, err := ex.eval(kexpr, e, gctx)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = v
+		}
+		records = append(records, record{proj: proj, keys: keys})
+	}
+	return finalize(core, items, records)
+}
+
+// finalize applies DISTINCT, ORDER BY, LIMIT/OFFSET and materializes the
+// output relation.
+func finalize(core *sqlast.SelectCore, items []projItem, records []record) (*sqltypes.Relation, error) {
+	if core.Distinct {
+		seen := map[string]bool{}
+		kept := records[:0:0]
+		for _, r := range records {
+			k := r.proj.Key()
+			if !seen[k] {
+				seen[k] = true
+				kept = append(kept, r)
+			}
+		}
+		records = kept
+	}
+	if len(core.OrderBy) > 0 {
+		sort.SliceStable(records, func(i, j int) bool {
+			for k, o := range core.OrderBy {
+				c := sqltypes.Compare(records[i].keys[k], records[j].keys[k])
+				if c == 0 {
+					continue
+				}
+				if o.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	start, end := 0, len(records)
+	if core.Offset != nil {
+		start = int(*core.Offset)
+		if start > end {
+			start = end
+		}
+	}
+	if core.Limit != nil {
+		if lim := start + int(*core.Limit); lim < end {
+			end = lim
+		}
+	}
+	records = records[start:end]
+	cols := make([]string, len(items))
+	for i, it := range items {
+		cols[i] = it.label
+	}
+	out := sqltypes.NewRelation(cols...)
+	for _, r := range records {
+		out.Append(r.proj)
+	}
+	return out, nil
+}

@@ -1,0 +1,163 @@
+// Package sqllex tokenizes the Spider SQL dialect: SELECT statements with
+// joins, grouping, ordering, set operations and nested subqueries. The
+// lexer is shared by the parser and by the EM normalizer's token-level
+// canonicalization.
+package sqllex
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies a token.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString // quoted string, Text holds the unquoted payload
+	TokOp     // operators and punctuation: = != <> < <= > >= + - * / ( ) , . ;
+)
+
+// Token is one lexical unit. Pos is the byte offset in the input.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int
+}
+
+// keywords recognized by the dialect. Identifiers matching these
+// (case-insensitively) lex as TokKeyword with upper-cased Text.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "OFFSET": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "OUTER": true, "ON": true, "AS": true,
+	"AND": true, "OR": true, "NOT": true, "IN": true, "LIKE": true,
+	"BETWEEN": true, "IS": true, "NULL": true, "EXISTS": true,
+	"UNION": true, "INTERSECT": true, "EXCEPT": true, "ALL": true,
+	"DISTINCT": true, "ASC": true, "DESC": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true, "ABS": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+}
+
+// IsKeyword reports whether s is a dialect keyword.
+func IsKeyword(s string) bool { return keywords[strings.ToUpper(s)] }
+
+// Lex tokenizes input. It returns an error for unterminated strings or
+// bytes outside the dialect.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'' || c == '"' || c == '`':
+			start := i
+			quote := c
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == quote {
+					if i+1 < n && input[i+1] == quote && quote == '\'' {
+						sb.WriteByte(quote)
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sqllex: unterminated string at offset %d", start)
+			}
+			kind := TokString
+			if quote == '`' || quote == '"' {
+				// Back/double quotes delimit identifiers in this dialect.
+				kind = TokIdent
+			}
+			toks = append(toks, Token{Kind: kind, Text: sb.String(), Pos: start})
+		case isDigit(c) || (c == '.' && i+1 < n && isDigit(input[i+1])):
+			start := i
+			for i < n && (isDigit(input[i]) || input[i] == '.') {
+				i++
+			}
+			// Scientific suffix (rare in benchmarks but cheap to support).
+			if i < n && (input[i] == 'e' || input[i] == 'E') {
+				j := i + 1
+				if j < n && (input[j] == '+' || input[j] == '-') {
+					j++
+				}
+				if j < n && isDigit(input[j]) {
+					i = j
+					for i < n && isDigit(input[i]) {
+						i++
+					}
+				}
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: input[start:i], Pos: start})
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentPart(input[i]) {
+				i++
+			}
+			word := input[start:i]
+			if IsKeyword(word) {
+				toks = append(toks, Token{Kind: TokKeyword, Text: strings.ToUpper(word), Pos: start})
+			} else {
+				toks = append(toks, Token{Kind: TokIdent, Text: word, Pos: start})
+			}
+		default:
+			start := i
+			var op string
+			switch c {
+			case '<':
+				if i+1 < n && (input[i+1] == '=' || input[i+1] == '>') {
+					op = input[i : i+2]
+				} else {
+					op = "<"
+				}
+			case '>':
+				if i+1 < n && input[i+1] == '=' {
+					op = ">="
+				} else {
+					op = ">"
+				}
+			case '!':
+				if i+1 < n && input[i+1] == '=' {
+					op = "!="
+				} else {
+					return nil, fmt.Errorf("sqllex: unexpected '!' at offset %d", i)
+				}
+			case '=', '+', '-', '*', '/', '(', ')', ',', '.', ';', '%':
+				op = string(c)
+			default:
+				return nil, fmt.Errorf("sqllex: unexpected byte %q at offset %d", c, i)
+			}
+			i = start + len(op)
+			toks = append(toks, Token{Kind: TokOp, Text: op, Pos: start})
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: n})
+	return toks, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || c == '$' || unicode.IsLetter(rune(c)) || isDigit(c)
+}

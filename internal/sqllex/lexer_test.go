@@ -1,0 +1,144 @@
+package sqllex
+
+import (
+	"testing"
+)
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasicSelect(t *testing.T) {
+	toks, err := Lex("SELECT name FROM country WHERE pop >= 80000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		kind TokenKind
+		text string
+	}{
+		{TokKeyword, "SELECT"}, {TokIdent, "name"}, {TokKeyword, "FROM"},
+		{TokIdent, "country"}, {TokKeyword, "WHERE"}, {TokIdent, "pop"},
+		{TokOp, ">="}, {TokNumber, "80000"}, {TokEOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("token %d = {%v %q}, want {%v %q}", i, toks[i].Kind, toks[i].Text, w.kind, w.text)
+		}
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks, err := Lex("SELECT 'O''Brien'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Kind != TokString || toks[1].Text != "O'Brien" {
+		t.Fatalf("escaped string: %+v", toks[1])
+	}
+}
+
+func TestLexQuotedIdentifiers(t *testing.T) {
+	toks, err := Lex("SELECT `weird name` FROM \"tbl\"")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Kind != TokIdent || toks[1].Text != "weird name" {
+		t.Fatalf("backquoted ident: %+v", toks[1])
+	}
+	if toks[3].Kind != TokIdent || toks[3].Text != "tbl" {
+		t.Fatalf("double-quoted ident: %+v", toks[3])
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := Lex("a<=b<>c!=d>=e<f>g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOps := []string{"<=", "<>", "!=", ">=", "<", ">"}
+	gotOps := []string{}
+	for _, tok := range toks {
+		if tok.Kind == TokOp {
+			gotOps = append(gotOps, tok.Text)
+		}
+	}
+	if len(gotOps) != len(wantOps) {
+		t.Fatalf("ops = %v", gotOps)
+	}
+	for i := range wantOps {
+		if gotOps[i] != wantOps[i] {
+			t.Errorf("op %d = %q want %q", i, gotOps[i], wantOps[i])
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := Lex("1 2.5 .5 1e3 1.5E-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nums []string
+	for _, tok := range toks {
+		if tok.Kind == TokNumber {
+			nums = append(nums, tok.Text)
+		}
+	}
+	want := []string{"1", "2.5", ".5", "1e3", "1.5E-2"}
+	if len(nums) != len(want) {
+		t.Fatalf("numbers = %v, want %v", nums, want)
+	}
+	for i := range want {
+		if nums[i] != want[i] {
+			t.Errorf("number %d = %q want %q", i, nums[i], want[i])
+		}
+	}
+}
+
+func TestLexKeywordCaseFolding(t *testing.T) {
+	toks, err := Lex("select Name from T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "SELECT" || toks[0].Kind != TokKeyword {
+		t.Fatalf("keyword not folded: %+v", toks[0])
+	}
+	if toks[1].Text != "Name" || toks[1].Kind != TokIdent {
+		t.Fatalf("identifier case must be preserved: %+v", toks[1])
+	}
+}
+
+func TestLexUnterminatedString(t *testing.T) {
+	if _, err := Lex("SELECT 'oops"); err == nil {
+		t.Fatal("unterminated string must error")
+	}
+}
+
+func TestLexUnexpectedByte(t *testing.T) {
+	if _, err := Lex("SELECT a ? b"); err == nil {
+		t.Fatal("unexpected byte must error")
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("SELECT  a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != 0 || toks[1].Pos != 8 {
+		t.Fatalf("positions: %+v", toks[:2])
+	}
+}
+
+func TestIsKeyword(t *testing.T) {
+	if !IsKeyword("select") || !IsKeyword("INTERSECT") || IsKeyword("name") {
+		t.Fatal("IsKeyword misclassifies")
+	}
+}

@@ -1,0 +1,128 @@
+package sqlnorm
+
+import (
+	"cyclesql/internal/sqlast"
+)
+
+// Difficulty is a Spider hardness bucket.
+type Difficulty string
+
+// The four Spider buckets, ordered.
+const (
+	Easy      Difficulty = "easy"
+	Medium    Difficulty = "medium"
+	Hard      Difficulty = "hard"
+	ExtraHard Difficulty = "extra"
+)
+
+// Difficulties lists the buckets in ascending order.
+var Difficulties = []Difficulty{Easy, Medium, Hard, ExtraHard}
+
+// Classify implements the Spider evaluation script's hardness criteria:
+// component-1 counts surface clauses (WHERE, GROUP BY, ORDER BY, LIMIT,
+// JOIN, OR, LIKE), component-2 counts compositional constructs (set
+// operations and nested subqueries), and "others" counts multiplicity
+// (multiple aggregates, select columns, where conditions, group keys).
+func Classify(stmt *sqlast.SelectStmt) Difficulty {
+	c1 := countComponent1(stmt)
+	c2 := countComponent2(stmt)
+	others := countOthers(stmt)
+	switch {
+	case c1 <= 1 && others == 0 && c2 == 0:
+		return Easy
+	case (others <= 2 && c1 <= 1 && c2 == 0) || (c1 <= 2 && others < 2 && c2 == 0):
+		return Medium
+	case (others > 2 && c1 <= 2 && c2 == 0) ||
+		(c1 > 2 && c1 <= 3 && others <= 2 && c2 == 0) ||
+		(c1 <= 1 && others == 0 && c2 <= 1):
+		return Hard
+	default:
+		return ExtraHard
+	}
+}
+
+func countComponent1(stmt *sqlast.SelectStmt) int {
+	n := 0
+	core := stmt.Cores[0]
+	if core.Where != nil {
+		n++
+	}
+	if len(core.GroupBy) > 0 {
+		n++
+	}
+	if len(core.OrderBy) > 0 {
+		n++
+	}
+	if core.Limit != nil {
+		n++
+	}
+	if core.From != nil && len(core.From.Joins) > 0 {
+		n++
+	}
+	hasOr, hasLike := false, false
+	scan := func(e sqlast.Expr) {
+		sqlast.WalkExpr(e, func(e sqlast.Expr) bool {
+			switch x := e.(type) {
+			case *sqlast.Binary:
+				if x.Op == "OR" {
+					hasOr = true
+				}
+			case *sqlast.LikeExpr:
+				hasLike = true
+			}
+			return true
+		})
+	}
+	scan(core.Where)
+	scan(core.Having)
+	if hasOr {
+		n++
+	}
+	if hasLike {
+		n++
+	}
+	return n
+}
+
+func countComponent2(stmt *sqlast.SelectStmt) int {
+	n := len(stmt.Ops) // set operations
+	for _, core := range stmt.Cores {
+		for _, sub := range core.Subqueries() {
+			n += 1 + countComponent2(sub)
+		}
+	}
+	return n
+}
+
+func countOthers(stmt *sqlast.SelectStmt) int {
+	core := stmt.Cores[0]
+	n := 0
+	aggs := 0
+	for _, it := range core.Items {
+		sqlast.WalkExpr(it.Expr, func(e sqlast.Expr) bool {
+			if f, ok := e.(*sqlast.FuncCall); ok && f.IsAggregate() {
+				aggs++
+			}
+			return true
+		})
+	}
+	sqlast.WalkExpr(core.Having, func(e sqlast.Expr) bool {
+		if f, ok := e.(*sqlast.FuncCall); ok && f.IsAggregate() {
+			aggs++
+		}
+		return true
+	})
+	if aggs > 1 {
+		n++
+	}
+	if len(core.Items) > 1 {
+		n++
+	}
+	if len(sqlast.Conjuncts(core.Where)) > 1 {
+		n++
+	}
+	if len(core.GroupBy) > 1 {
+		n++
+	}
+	return n
+}

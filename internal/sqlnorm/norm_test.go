@@ -1,0 +1,119 @@
+package sqlnorm
+
+import (
+	"testing"
+
+	"cyclesql/internal/sqlparse"
+)
+
+func em(t *testing.T, a, b string) bool {
+	t.Helper()
+	return EMEqual(sqlparse.MustParse(a), sqlparse.MustParse(b))
+}
+
+func TestEMAliasInsensitive(t *testing.T) {
+	a := "SELECT T1.name FROM singer AS T1 JOIN song AS T2 ON T1.id = T2.sid"
+	b := "SELECT a.name FROM singer AS a JOIN song AS b ON a.id = b.sid"
+	if !em(t, a, b) {
+		t.Fatal("alias renaming must not affect EM")
+	}
+}
+
+func TestEMCaseInsensitive(t *testing.T) {
+	if !em(t, "select NAME from Singer", "SELECT name FROM singer") {
+		t.Fatal("case must not affect EM")
+	}
+}
+
+func TestEMValueInsensitive(t *testing.T) {
+	if !em(t, "SELECT name FROM city WHERE pop > 100", "SELECT name FROM city WHERE pop > 999") {
+		t.Fatal("literal values must not affect EM")
+	}
+	if em(t, "SELECT name FROM city WHERE pop > 100", "SELECT name FROM city WHERE pop >= 100") {
+		t.Fatal("operators must affect EM")
+	}
+}
+
+func TestEMConjunctOrderInsensitive(t *testing.T) {
+	a := "SELECT name FROM city WHERE a = 1 AND b = 2"
+	b := "SELECT name FROM city WHERE b = 2 AND a = 1"
+	if !em(t, a, b) {
+		t.Fatal("conjunct order must not affect EM")
+	}
+}
+
+func TestEMSelectOrderInsensitive(t *testing.T) {
+	if !em(t, "SELECT a, b FROM t", "SELECT b, a FROM t") {
+		t.Fatal("projection order must not affect EM")
+	}
+}
+
+func TestEMStructureSensitive(t *testing.T) {
+	if em(t, "SELECT count(*) FROM t", "SELECT sum(x) FROM t") {
+		t.Fatal("different aggregates must differ")
+	}
+	if em(t, "SELECT a FROM t", "SELECT DISTINCT a FROM t") {
+		t.Fatal("DISTINCT must matter")
+	}
+	if em(t, "SELECT a FROM t ORDER BY a LIMIT 1", "SELECT a FROM t ORDER BY a LIMIT 3") {
+		t.Fatal("LIMIT count is semantic and must matter")
+	}
+	if em(t, "SELECT a FROM t ORDER BY a", "SELECT a FROM t ORDER BY a DESC") {
+		t.Fatal("sort direction must matter")
+	}
+}
+
+func TestEMNestedNormalization(t *testing.T) {
+	a := "SELECT name FROM t WHERE id IN (SELECT x FROM u AS Z WHERE Z.v = 5)"
+	b := "SELECT name FROM t WHERE id IN (SELECT x FROM u AS K WHERE K.v = 9)"
+	if !em(t, a, b) {
+		t.Fatal("nested queries must normalize too")
+	}
+}
+
+func TestEMSelfInverse(t *testing.T) {
+	sql := "SELECT T1.name, count(*) FROM a AS T1 JOIN b AS T2 ON T1.id = T2.aid WHERE T2.x = 'v' GROUP BY T1.name HAVING count(*) > 2 ORDER BY count(*) DESC LIMIT 5"
+	stmt := sqlparse.MustParse(sql)
+	once := Canonical(stmt)
+	twice := Canonical(sqlparse.MustParse(Normalize(stmt).SQL()))
+	if once != twice {
+		t.Fatalf("normalization must be idempotent:\n1 %s\n2 %s", once, twice)
+	}
+}
+
+func TestNormalizeDoesNotMutateInput(t *testing.T) {
+	stmt := sqlparse.MustParse("SELECT T1.name FROM singer AS T1 WHERE T1.age > 30")
+	before := stmt.SQL()
+	Normalize(stmt)
+	if stmt.SQL() != before {
+		t.Fatal("Normalize must clone, not mutate")
+	}
+}
+
+func TestClassifyDifficultyBuckets(t *testing.T) {
+	cases := map[string]Difficulty{
+		"SELECT name FROM singer":                                                         Easy,
+		"SELECT name FROM singer WHERE age > 30":                                          Easy,
+		"SELECT name, age FROM singer WHERE age > 30":                                     Medium,
+		"SELECT count(*) FROM singer WHERE age > 30 AND country = 'US' OR country = 'UK'": Medium,
+		"SELECT name, age FROM singer WHERE a = 1 AND b = 2 GROUP BY name, age":           Hard,
+		"SELECT name FROM singer WHERE id IN (SELECT sid FROM song)":                      Hard,
+		"SELECT a FROM t UNION SELECT b FROM u":                                           Hard,
+		"SELECT T1.name FROM a AS T1 JOIN b AS T2 ON T1.id = T2.aid WHERE T2.x = 'v' AND T2.y = 1 GROUP BY T1.name HAVING count(*) > 2 ORDER BY count(*) DESC LIMIT 5": ExtraHard,
+		"SELECT name FROM t WHERE id IN (SELECT x FROM u WHERE v IN (SELECT w FROM z))":                                                                                ExtraHard,
+	}
+	for sql, want := range cases {
+		if got := Classify(sqlparse.MustParse(sql)); got != want {
+			t.Errorf("Classify(%q) = %s want %s", sql, got, want)
+		}
+	}
+}
+
+func TestClassifyMonotoneUnderAddedClauses(t *testing.T) {
+	base := Classify(sqlparse.MustParse("SELECT name FROM singer"))
+	more := Classify(sqlparse.MustParse("SELECT name FROM singer WHERE a = 1 AND b = 2 GROUP BY name ORDER BY name LIMIT 3"))
+	rank := map[Difficulty]int{Easy: 0, Medium: 1, Hard: 2, ExtraHard: 3}
+	if rank[more] < rank[base] {
+		t.Fatalf("adding clauses lowered difficulty: %s -> %s", base, more)
+	}
+}

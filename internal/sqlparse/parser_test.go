@@ -1,0 +1,196 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"cyclesql/internal/sqlast"
+)
+
+// roundTrip parses, renders, re-parses and re-renders, asserting the two
+// rendered forms agree. This is the core parser/renderer contract.
+func roundTrip(t *testing.T, sql string) *sqlast.SelectStmt {
+	t.Helper()
+	stmt, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	first := stmt.SQL()
+	stmt2, err := Parse(first)
+	if err != nil {
+		t.Fatalf("re-parse %q (from %q): %v", first, sql, err)
+	}
+	if second := stmt2.SQL(); second != first {
+		t.Fatalf("round trip diverged:\n 1st %q\n 2nd %q", first, second)
+	}
+	return stmt
+}
+
+func TestParseSpiderCorpus(t *testing.T) {
+	// Representative query shapes drawn from the paper and the Spider
+	// benchmark family.
+	corpus := []string{
+		"SELECT count(*) FROM Flight AS T1 JOIN Aircraft AS T2 ON T1.aid = T2.aid WHERE T2.name = 'Airbus A340-300'",
+		"SELECT name FROM country WHERE continent = 'Europe' AND population = 80000",
+		"SELECT T1.name FROM Country AS T1 JOIN Countrylanguage AS T2 ON T1.code = T2.countrycode WHERE T2.language = 'English' INTERSECT SELECT T1.name FROM Country AS T1 JOIN Countrylanguage AS T2 ON T1.code = T2.countrycode WHERE T2.language = 'French'",
+		"SELECT DISTINCT T2.name FROM Country AS T1 JOIN City AS T2 ON T1.code = T2.countrycode WHERE T1.Continent = 'Europe' AND T1.Name NOT IN (SELECT T3.name FROM Country AS T3 JOIN Countrylanguage AS T4 ON T3.code = T4.countrycode WHERE T4.isofficial = 'T' AND T4.language = 'English')",
+		"SELECT count(T2.language), T1.name FROM Country AS T1 JOIN Countrylanguage AS T2 ON T1.code = T2.countrycode GROUP BY T1.name HAVING count(*) > 2",
+		"SELECT name FROM singer ORDER BY age DESC LIMIT 1",
+		"SELECT avg(age), min(age), max(age) FROM singer WHERE country = 'France'",
+		"SELECT T2.name FROM concert AS T1 JOIN stadium AS T2 ON T1.stadium_id = T2.stadium_id GROUP BY T1.stadium_id ORDER BY count(*) DESC LIMIT 1",
+		"SELECT name FROM stadium WHERE capacity BETWEEN 5000 AND 10000",
+		"SELECT name FROM employee WHERE salary > (SELECT avg(salary) FROM employee)",
+		"SELECT name FROM customer WHERE email LIKE '%gmail.com'",
+		"SELECT count(DISTINCT country) FROM singer",
+		"SELECT name FROM orchestra EXCEPT SELECT name FROM orchestra WHERE year = 2008",
+		"SELECT sname FROM student WHERE NOT EXISTS (SELECT 1 FROM has_pet WHERE has_pet.stuid = student.stuid)",
+		"SELECT name, capacity FROM stadium WHERE average > (SELECT avg(average) FROM stadium)",
+		"SELECT T1.song_name FROM singer AS T1 LEFT JOIN song AS T2 ON T1.singer_id = T2.singer_id WHERE T2.sales IS NULL",
+		"SELECT grade FROM highschooler GROUP BY grade HAVING count(*) >= 4",
+		"SELECT name FROM singer WHERE singer_id NOT IN (SELECT singer_id FROM concert_singer)",
+		"SELECT country, count(*) FROM singer GROUP BY country ORDER BY 2 DESC",
+		"SELECT name FROM t WHERE a = 1 OR b = 2 AND c = 3",
+		"SELECT max(age) - min(age) FROM dogs",
+		"SELECT name FROM people ORDER BY height DESC, weight ASC LIMIT 3 OFFSET 2",
+		"SELECT name FROM cars WHERE horsepower > 150 UNION ALL SELECT name FROM cars WHERE weight < 2000",
+		"SELECT avg(t.salary) AS avg_sal FROM emp AS t GROUP BY t.dept",
+		"SELECT * FROM Flight",
+		"SELECT T1.* FROM Flight AS T1 JOIN Aircraft AS T2 ON T1.aid = T2.aid",
+		"SELECT count(*) FROM (SELECT DISTINCT country FROM singer) AS sub",
+		"SELECT abs(a - b) FROM t",
+		"SELECT name FROM t WHERE id IN (1, 2, 3)",
+		"SELECT name FROM t WHERE flag IS NOT NULL AND name NOT LIKE 'A%'",
+	}
+	for _, sql := range corpus {
+		roundTrip(t, sql)
+	}
+}
+
+func TestParseOperatorPrecedence(t *testing.T) {
+	stmt := roundTrip(t, "SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3")
+	where := stmt.Core().Where.(*sqlast.Binary)
+	if where.Op != "OR" {
+		t.Fatalf("OR must bind loosest, got %s", where.Op)
+	}
+	r := where.R.(*sqlast.Binary)
+	if r.Op != "AND" {
+		t.Fatalf("AND must nest under OR, got %s", r.Op)
+	}
+}
+
+func TestParseArithmeticPrecedence(t *testing.T) {
+	stmt := roundTrip(t, "SELECT a + b * c FROM t")
+	e := stmt.Core().Items[0].Expr.(*sqlast.Binary)
+	if e.Op != "+" {
+		t.Fatalf("+ must be root, got %s", e.Op)
+	}
+	if inner := e.R.(*sqlast.Binary); inner.Op != "*" {
+		t.Fatalf("* must nest, got %s", inner.Op)
+	}
+}
+
+func TestParseCountStarVariants(t *testing.T) {
+	for _, sql := range []string{"SELECT count(*) FROM t", "SELECT count(T1.*) FROM t AS T1"} {
+		stmt := roundTrip(t, sql)
+		fc := stmt.Core().Items[0].Expr.(*sqlast.FuncCall)
+		if !fc.Star || fc.Name != "COUNT" {
+			t.Fatalf("%q: expected COUNT(*), got %+v", sql, fc)
+		}
+	}
+}
+
+func TestParseCompoundOps(t *testing.T) {
+	stmt := roundTrip(t, "SELECT a FROM t UNION SELECT b FROM u INTERSECT SELECT c FROM v")
+	if len(stmt.Cores) != 3 || stmt.Ops[0] != sqlast.Union || stmt.Ops[1] != sqlast.Intersect {
+		t.Fatalf("compound parse wrong: %d cores, ops %v", len(stmt.Cores), stmt.Ops)
+	}
+}
+
+func TestParseLimitCommaForm(t *testing.T) {
+	stmt := roundTrip(t, "SELECT a FROM t LIMIT 2, 5")
+	c := stmt.Core()
+	if c.Limit == nil || *c.Limit != 5 || c.Offset == nil || *c.Offset != 2 {
+		t.Fatalf("LIMIT offset,count parsed wrong: %+v", c)
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	stmt := roundTrip(t, "SELECT a FROM t WHERE x = -5")
+	cmp := stmt.Core().Where.(*sqlast.Binary)
+	lit, ok := cmp.R.(*sqlast.Literal)
+	if !ok || lit.Value.Int() != -5 {
+		t.Fatalf("negative literal not folded: %#v", cmp.R)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t GROUP",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM t WHERE a IN (",
+		"SELECT a FROM t trailing junk (",
+		"UPDATE t SET a = 1",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) must fail", sql)
+		}
+	}
+}
+
+func TestParseAliasForms(t *testing.T) {
+	stmt := roundTrip(t, "SELECT count(*) AS n FROM singer AS s")
+	c := stmt.Core()
+	if c.Items[0].Alias != "n" {
+		t.Fatalf("item alias = %q", c.Items[0].Alias)
+	}
+	if c.From.Base.Alias != "s" {
+		t.Fatalf("table alias = %q", c.From.Base.Alias)
+	}
+}
+
+func TestMustParsePanicsOnBadSQL(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse must panic")
+		}
+	}()
+	MustParse("not sql at all (")
+}
+
+func TestCloneIndependence(t *testing.T) {
+	stmt := MustParse("SELECT a FROM t WHERE x = 1")
+	clone := stmt.Clone()
+	clone.Core().Where = nil
+	clone.Core().Items[0].Alias = "z"
+	if stmt.Core().Where == nil || stmt.Core().Items[0].Alias != "" {
+		t.Fatal("Clone must not share structure")
+	}
+	if !strings.Contains(stmt.SQL(), "WHERE") {
+		t.Fatal("original lost its WHERE")
+	}
+}
+
+func TestConjunctsRoundtrip(t *testing.T) {
+	stmt := MustParse("SELECT a FROM t WHERE x = 1 AND y = 2 AND z = 3")
+	cs := sqlast.Conjuncts(stmt.Core().Where)
+	if len(cs) != 3 {
+		t.Fatalf("Conjuncts = %d, want 3", len(cs))
+	}
+	rebuilt := sqlast.FromAnd(cs)
+	if sqlast.ExprSQL(rebuilt) != sqlast.ExprSQL(stmt.Core().Where) {
+		t.Fatalf("FromAnd(Conjuncts(w)) != w: %s", sqlast.ExprSQL(rebuilt))
+	}
+}
+
+func TestSubqueriesCollection(t *testing.T) {
+	stmt := MustParse("SELECT a FROM t WHERE x IN (SELECT y FROM u) AND EXISTS (SELECT 1 FROM v) AND z > (SELECT max(w) FROM m)")
+	if n := len(stmt.Core().Subqueries()); n != 3 {
+		t.Fatalf("Subqueries = %d, want 3", n)
+	}
+}

@@ -1,0 +1,230 @@
+// Package sqltypes defines the value and relation model shared by every
+// layer of the system: the storage engine, the SQL executor, the provenance
+// tracker, and the evaluation metrics.
+//
+// Values are dynamically typed (NULL, INTEGER, REAL, TEXT) with SQLite-like
+// comparison semantics: numeric values compare numerically across the
+// INTEGER/REAL divide, and NULL never compares equal to anything, including
+// itself, except under the IS operator.
+package sqltypes
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the dynamic type of a Value.
+type Kind int
+
+// The value kinds, in SQLite affinity order.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindText
+)
+
+// String returns the SQL name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INTEGER"
+	case KindFloat:
+		return "REAL"
+	case KindText:
+		return "TEXT"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Value is a single dynamically typed SQL value. The zero value is NULL.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// NewInt returns an INTEGER value.
+func NewInt(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// NewFloat returns a REAL value.
+func NewFloat(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// NewText returns a TEXT value.
+func NewText(v string) Value { return Value{kind: KindText, s: v} }
+
+// NewBool returns the SQL encoding of a boolean: INTEGER 1 or 0.
+func NewBool(v bool) Value {
+	if v {
+		return NewInt(1)
+	}
+	return NewInt(0)
+}
+
+// Kind reports the dynamic type of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is the NULL value.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// IsNumeric reports whether v is INTEGER or REAL.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// Int returns the integer payload. It is only meaningful for KindInt.
+func (v Value) Int() int64 { return v.i }
+
+// Float returns the real payload. It is only meaningful for KindFloat.
+func (v Value) Float() float64 { return v.f }
+
+// Text returns the text payload. It is only meaningful for KindText.
+func (v Value) Text() string { return v.s }
+
+// AsFloat coerces a numeric value to float64. Text that parses as a number
+// is coerced too, mirroring SQLite's numeric affinity on comparisons.
+// The second result reports whether the coercion succeeded.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i), true
+	case KindFloat:
+		return v.f, true
+	case KindText:
+		f, err := strconv.ParseFloat(strings.TrimSpace(v.s), 64)
+		return f, err == nil
+	default:
+		return 0, false
+	}
+}
+
+// Truthy reports whether v is true in a WHERE context: non-NULL and nonzero.
+func (v Value) Truthy() bool {
+	switch v.kind {
+	case KindInt:
+		return v.i != 0
+	case KindFloat:
+		return v.f != 0
+	case KindText:
+		return v.s != ""
+	default:
+		return false
+	}
+}
+
+// String renders v for display: NULL, bare numbers, or unquoted text.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindText:
+		return v.s
+	default:
+		return "?"
+	}
+}
+
+// SQLLiteral renders v as a SQL literal (text quoted and escaped).
+func (v Value) SQLLiteral() string {
+	if v.kind == KindText {
+		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
+	}
+	return v.String()
+}
+
+// Key returns a canonical string usable as a map key for bag semantics.
+// Integral REAL values collapse onto their INTEGER spelling so that
+// count(*) = 2 and 2.0 compare equal, matching the Spider evaluation script.
+func (v Value) Key() string {
+	switch v.kind {
+	case KindNull:
+		return "\x00N"
+	case KindInt:
+		return "\x00i" + strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		if v.f == math.Trunc(v.f) && !math.IsInf(v.f, 0) && math.Abs(v.f) < 1e15 {
+			return "\x00i" + strconv.FormatInt(int64(v.f), 10)
+		}
+		return "\x00f" + strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindText:
+		return "\x00t" + v.s
+	default:
+		return "\x00?"
+	}
+}
+
+// Compare orders a before b and returns -1, 0, or +1. NULL sorts first;
+// numbers sort before text; numbers compare numerically across kinds.
+// Comparison under SQL tri-state semantics (where NULL yields NULL) is
+// handled by the expression evaluator, not here: Compare is a total order
+// used for ORDER BY, MIN/MAX and bag equality.
+func Compare(a, b Value) int {
+	ra, rb := a.rank(), b.rank()
+	if ra != rb {
+		if ra < rb {
+			return -1
+		}
+		return 1
+	}
+	switch ra {
+	case 0: // both NULL
+		return 0
+	case 1: // both numeric
+		fa, _ := a.AsFloat()
+		fb, _ := b.AsFloat()
+		switch {
+		case fa < fb:
+			return -1
+		case fa > fb:
+			return 1
+		default:
+			return 0
+		}
+	default: // both text
+		return strings.Compare(a.s, b.s)
+	}
+}
+
+func (v Value) rank() int {
+	switch v.kind {
+	case KindNull:
+		return 0
+	case KindInt, KindFloat:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Equal reports total-order equality of two values (NULL equals NULL here;
+// tri-state equality lives in the evaluator).
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// ParseLiteral converts a SQL literal token text into a Value. Quoted
+// strings should be passed without their quotes.
+func ParseLiteral(text string, quoted bool) Value {
+	if quoted {
+		return NewText(text)
+	}
+	if strings.EqualFold(text, "null") {
+		return Null()
+	}
+	if i, err := strconv.ParseInt(text, 10, 64); err == nil {
+		return NewInt(i)
+	}
+	if f, err := strconv.ParseFloat(text, 64); err == nil {
+		return NewFloat(f)
+	}
+	return NewText(text)
+}

@@ -1,0 +1,155 @@
+package sqltypes
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if !Null().IsNull() {
+		t.Fatal("Null() must be null")
+	}
+	if v := NewInt(42); v.Kind() != KindInt || v.Int() != 42 {
+		t.Fatalf("NewInt: got %v kind %v", v, v.Kind())
+	}
+	if v := NewFloat(2.5); v.Kind() != KindFloat || v.Float() != 2.5 {
+		t.Fatalf("NewFloat: got %v", v)
+	}
+	if v := NewText("abc"); v.Kind() != KindText || v.Text() != "abc" {
+		t.Fatalf("NewText: got %v", v)
+	}
+	if NewBool(true).Int() != 1 || NewBool(false).Int() != 0 {
+		t.Fatal("NewBool must map onto 1/0")
+	}
+	var zero Value
+	if !zero.IsNull() {
+		t.Fatal("zero Value must be NULL")
+	}
+}
+
+func TestValueAsFloat(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want float64
+		ok   bool
+	}{
+		{NewInt(3), 3, true},
+		{NewFloat(1.5), 1.5, true},
+		{NewText("2.25"), 2.25, true},
+		{NewText(" 7 "), 7, true},
+		{NewText("abc"), 0, false},
+		{Null(), 0, false},
+	}
+	for _, c := range cases {
+		got, ok := c.v.AsFloat()
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("AsFloat(%v) = %v,%v want %v,%v", c.v, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestValueTruthy(t *testing.T) {
+	if Null().Truthy() || NewInt(0).Truthy() || NewFloat(0).Truthy() || NewText("").Truthy() {
+		t.Fatal("falsy values reported truthy")
+	}
+	if !NewInt(1).Truthy() || !NewFloat(0.5).Truthy() || !NewText("x").Truthy() {
+		t.Fatal("truthy values reported falsy")
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	// NULL < numbers < text; numbers compare across int/float.
+	ordered := []Value{Null(), NewInt(-5), NewFloat(-1.5), NewInt(0), NewFloat(0.5), NewInt(3), NewText("a"), NewText("b")}
+	for i := range ordered {
+		for j := range ordered {
+			got := Compare(ordered[i], ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%v,%v) = %d want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestCompareNumericCrossKind(t *testing.T) {
+	if Compare(NewInt(2), NewFloat(2.0)) != 0 {
+		t.Fatal("2 must equal 2.0")
+	}
+	if Compare(NewFloat(1.9), NewInt(2)) != -1 {
+		t.Fatal("1.9 < 2")
+	}
+}
+
+func TestKeyCollapsesIntegralFloats(t *testing.T) {
+	if NewInt(2).Key() != NewFloat(2.0).Key() {
+		t.Fatal("2 and 2.0 must share a bag key")
+	}
+	if NewInt(2).Key() == NewText("2").Key() {
+		t.Fatal("numeric 2 and text '2' must not share a bag key")
+	}
+	if NewFloat(2.5).Key() == NewFloat(2.0).Key() {
+		t.Fatal("distinct floats must not collide")
+	}
+}
+
+func TestSQLLiteralEscaping(t *testing.T) {
+	if got := NewText("O'Brien").SQLLiteral(); got != "'O''Brien'" {
+		t.Fatalf("SQLLiteral = %q", got)
+	}
+	if got := NewInt(7).SQLLiteral(); got != "7" {
+		t.Fatalf("int literal = %q", got)
+	}
+	if got := Null().SQLLiteral(); got != "NULL" {
+		t.Fatalf("null literal = %q", got)
+	}
+}
+
+func TestParseLiteral(t *testing.T) {
+	if v := ParseLiteral("42", false); v.Kind() != KindInt || v.Int() != 42 {
+		t.Fatalf("ParseLiteral(42) = %v", v)
+	}
+	if v := ParseLiteral("4.5", false); v.Kind() != KindFloat {
+		t.Fatalf("ParseLiteral(4.5) = %v", v)
+	}
+	if v := ParseLiteral("null", false); !v.IsNull() {
+		t.Fatalf("ParseLiteral(null) = %v", v)
+	}
+	if v := ParseLiteral("42", true); v.Kind() != KindText {
+		t.Fatalf("quoted literal must stay text, got %v", v)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{KindNull: "NULL", KindInt: "INTEGER", KindFloat: "REAL", KindText: "TEXT"} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q want %q", k, k.String(), want)
+		}
+	}
+}
+
+// Property: Compare is antisymmetric and consistent with Equal.
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := NewInt(a), NewInt(b)
+		return Compare(va, vb) == -Compare(vb, va) && (Compare(va, vb) == 0) == Equal(va, vb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Key equality matches Compare equality for numeric values.
+func TestKeyConsistentWithCompareProperty(t *testing.T) {
+	f := func(a int64, b int64) bool {
+		va, vb := NewInt(a), NewFloat(float64(b))
+		return (va.Key() == vb.Key()) == (Compare(va, vb) == 0) || float64(b) != float64(int64(float64(b)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

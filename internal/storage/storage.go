@@ -1,0 +1,123 @@
+// Package storage provides the in-memory table store the SQL executor
+// reads from. A Database binds a schema.Schema to one relation per table
+// and enforces arity and (loose, SQLite-like) type affinity on insert.
+//
+// Databases are cheap to clone, which the test-suite accuracy metric uses
+// to build distilled database variants (paper §V-A1, "test suite accuracy").
+package storage
+
+import (
+	"fmt"
+	"strings"
+
+	"cyclesql/internal/schema"
+	"cyclesql/internal/sqltypes"
+)
+
+// Database is an in-memory database instance: a schema plus table contents.
+type Database struct {
+	Schema *schema.Schema
+	tables map[string]*sqltypes.Relation
+}
+
+// NewDatabase returns an empty database for the schema. Every table starts
+// with zero rows and the column list from the schema.
+func NewDatabase(s *schema.Schema) *Database {
+	db := &Database{Schema: s, tables: make(map[string]*sqltypes.Relation, len(s.Tables))}
+	for _, t := range s.Tables {
+		db.tables[strings.ToLower(t.Name)] = sqltypes.NewRelation(t.ColumnNames()...)
+	}
+	return db
+}
+
+// Table returns the stored relation for a table name, or nil if the table
+// does not exist. The returned relation is live: callers must not mutate it.
+func (db *Database) Table(name string) *sqltypes.Relation {
+	return db.tables[strings.ToLower(name)]
+}
+
+// Insert appends a row to a table after checking arity and coercing values
+// toward the declared column affinity (integers widen to REAL columns,
+// numerics stringify into TEXT columns).
+func (db *Database) Insert(table string, row sqltypes.Row) error {
+	t := db.Schema.Table(table)
+	rel := db.Table(table)
+	if t == nil || rel == nil {
+		return fmt.Errorf("storage: unknown table %q", table)
+	}
+	if len(row) != len(t.Columns) {
+		return fmt.Errorf("storage: table %s expects %d values, got %d", t.Name, len(t.Columns), len(row))
+	}
+	coerced := make(sqltypes.Row, len(row))
+	for i, v := range row {
+		coerced[i] = coerce(v, t.Columns[i].Type)
+	}
+	rel.Append(coerced)
+	return nil
+}
+
+// MustInsert is Insert for statically known-good data; it panics on error.
+// The synthetic dataset builders use it so malformed generators fail fast.
+func (db *Database) MustInsert(table string, values ...sqltypes.Value) {
+	if err := db.Insert(table, sqltypes.Row(values)); err != nil {
+		panic(err)
+	}
+}
+
+func coerce(v sqltypes.Value, want sqltypes.Kind) sqltypes.Value {
+	if v.IsNull() {
+		return v
+	}
+	switch want {
+	case sqltypes.KindInt:
+		if v.Kind() == sqltypes.KindFloat {
+			return sqltypes.NewInt(int64(v.Float()))
+		}
+	case sqltypes.KindFloat:
+		if v.Kind() == sqltypes.KindInt {
+			return sqltypes.NewFloat(float64(v.Int()))
+		}
+	case sqltypes.KindText:
+		if v.IsNumeric() {
+			return sqltypes.NewText(v.String())
+		}
+	}
+	return v
+}
+
+// NumRows returns the row count of a table (0 for unknown tables).
+func (db *Database) NumRows(table string) int {
+	if rel := db.Table(table); rel != nil {
+		return rel.NumRows()
+	}
+	return 0
+}
+
+// TotalRows returns the row count across all tables.
+func (db *Database) TotalRows() int {
+	n := 0
+	for _, rel := range db.tables {
+		n += rel.NumRows()
+	}
+	return n
+}
+
+// Clone deep-copies the database contents (the schema is shared; schemata
+// are immutable after construction).
+func (db *Database) Clone() *Database {
+	out := &Database{Schema: db.Schema, tables: make(map[string]*sqltypes.Relation, len(db.tables))}
+	for k, rel := range db.tables {
+		out.tables[k] = rel.Clone()
+	}
+	return out
+}
+
+// Mutate applies fn to every stored row of every table. The test-suite
+// distillation uses it to perturb copies of the database.
+func (db *Database) Mutate(fn func(table string, row sqltypes.Row)) {
+	for name, rel := range db.tables {
+		for _, row := range rel.Rows {
+			fn(name, row)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Package textproc supplies the lightweight NLP primitives the NLI
+// verifier and the user-study simulator build on: tokenization, a small
+// suffix stemmer, stopword filtering, number extraction, and synonym
+// canonicalization for SQL-flavored vocabulary ("how many" ~ "count").
+package textproc
+
+import (
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Tokenize lower-cases and splits text into word and number tokens,
+// treating punctuation as boundaries but keeping decimal numbers intact.
+func Tokenize(text string) []string {
+	var toks []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+	}
+	runes := []rune(strings.ToLower(text))
+	for i := 0; i < len(runes); i++ {
+		r := runes[i]
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_':
+			cur.WriteRune(r)
+		case r == '.' && cur.Len() > 0 && i+1 < len(runes) && unicode.IsDigit(runes[i+1]) && isNumber(cur.String()):
+			cur.WriteRune(r) // decimal point inside a number
+		case r == '\'' && cur.Len() > 0 && i+1 < len(runes) && unicode.IsLetter(runes[i+1]):
+			// Contractions and possessives fold into the word (don't, iraq's).
+		default:
+			flush()
+		}
+	}
+	flush()
+	return toks
+}
+
+func isNumber(s string) bool {
+	_, err := strconv.ParseFloat(s, 64)
+	return err == nil
+}
+
+// stopwords are high-frequency function words excluded from overlap
+// features.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "the": true, "of": true, "to": true, "in": true,
+	"is": true, "are": true, "was": true, "were": true, "be": true,
+	"for": true, "with": true, "and": true, "or": true, "that": true,
+	"this": true, "there": true, "here": true, "by": true, "on": true,
+	"at": true, "as": true, "it": true, "its": true, "do": true, "does": true,
+	"what": true, "which": true, "who": true, "whose": true, "where": true,
+	"show": true, "list": true, "give": true, "return": true, "find": true,
+	"me": true, "all": true, "each": true, "query": true, "result": true,
+	"set": true, "row": true, "rows": true, "column": true, "columns": true,
+	"please": true, "us": true,
+}
+
+// IsStopword reports whether tok is a stopword.
+func IsStopword(tok string) bool { return stopwords[tok] }
+
+// ContentTokens tokenizes and drops stopwords.
+func ContentTokens(text string) []string {
+	toks := Tokenize(text)
+	out := toks[:0:0]
+	for _, t := range toks {
+		if !stopwords[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Stem applies a small suffix stemmer (plural and -ing/-ed forms), enough
+// to align "flights" with "flight" and "ranked" with "rank".
+func Stem(tok string) string {
+	n := len(tok)
+	switch {
+	case n > 4 && strings.HasSuffix(tok, "ies"):
+		return tok[:n-3] + "y"
+	case n > 4 && strings.HasSuffix(tok, "ing"):
+		return tok[:n-3]
+	case n > 3 && strings.HasSuffix(tok, "ed") && !strings.HasSuffix(tok, "eed"):
+		return tok[:n-2]
+	case n > 3 && strings.HasSuffix(tok, "es") && !strings.HasSuffix(tok, "ses"):
+		return tok[:n-2]
+	case n > 2 && strings.HasSuffix(tok, "s") && !strings.HasSuffix(tok, "ss") && !strings.HasSuffix(tok, "us"):
+		return tok[:n-1]
+	default:
+		return tok
+	}
+}
+
+// StemAll stems every token.
+func StemAll(toks []string) []string {
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = Stem(t)
+	}
+	return out
+}
+
+// canonical groups SQL-flavored synonym classes onto one representative,
+// so "how many" in a question aligns with "count"/"total" in explanations.
+var canonical = map[string]string{
+	"many": "count", "number": "count", "count": "count", "total": "count",
+	"amount": "count", "sum": "sum", "average": "avg", "avg": "avg",
+	"mean": "avg", "maximum": "max", "max": "max", "highest": "max",
+	"largest": "max", "most": "max", "greatest": "max", "biggest": "max",
+	"top": "max", "minimum": "min", "min": "min", "lowest": "min",
+	"smallest": "min", "least": "min", "fewest": "min",
+	"greater": "greater", "more": "greater", "above": "greater",
+	"over": "greater", "exceeds": "greater", "bigger": "greater",
+	"less": "less", "fewer": "less", "below": "less", "under": "less",
+	"equal": "equal", "equals": "equal", "exactly": "equal", "same": "equal",
+	"not": "not", "no": "not", "except": "not", "without": "not",
+	"distinct": "distinct", "different": "distinct", "unique": "distinct",
+	"between": "between", "both": "both", "also": "both",
+	"missing": "null", "null": "null", "empty": "null",
+}
+
+// Canonical maps a (stemmed) token onto its synonym-class representative,
+// or returns the token unchanged.
+func Canonical(tok string) string {
+	if c, ok := canonical[tok]; ok {
+		return c
+	}
+	return tok
+}
+
+// phrasePairs maps two-token comparison idioms onto their canonical
+// operator class before stopword removal would destroy them ("at least"
+// must become "greater", not the aggregate class of "least").
+var phrasePairs = map[[2]string]string{
+	{"at", "least"}:     "greater",
+	{"at", "most"}:      "less",
+	{"more", "than"}:    "greater",
+	{"greater", "than"}: "greater",
+	{"larger", "than"}:  "greater",
+	{"bigger", "than"}:  "greater",
+	{"less", "than"}:    "less",
+	{"fewer", "than"}:   "less",
+	{"smaller", "than"}: "less",
+	{"lower", "than"}:   "less",
+	{"how", "many"}:     "count",
+	{"how", "much"}:     "sum",
+	{"equal", "to"}:     "equal",
+	{"or", "more"}:      "greater",
+	{"or", "fewer"}:     "less",
+	{"up", "to"}:        "less",
+}
+
+// ApplyPhrases rewrites two-token idioms in place, returning a new slice
+// where each matched pair collapses onto its class token.
+func ApplyPhrases(toks []string) []string {
+	out := make([]string, 0, len(toks))
+	for i := 0; i < len(toks); i++ {
+		if i+1 < len(toks) {
+			if repl, ok := phrasePairs[[2]string{toks[i], toks[i+1]}]; ok {
+				out = append(out, repl)
+				i++
+				continue
+			}
+		}
+		out = append(out, toks[i])
+	}
+	return out
+}
+
+// Numbers extracts the numeric tokens of a text as canonical strings
+// (integral floats collapse onto integers).
+func Numbers(text string) []string {
+	var out []string
+	for _, t := range Tokenize(text) {
+		if f, err := strconv.ParseFloat(t, 64); err == nil {
+			if f == float64(int64(f)) {
+				out = append(out, strconv.FormatInt(int64(f), 10))
+			} else {
+				out = append(out, strconv.FormatFloat(f, 'g', -1, 64))
+			}
+		}
+	}
+	return out
+}
+
+// Bigrams returns adjacent token pairs joined with '_'.
+func Bigrams(toks []string) []string {
+	if len(toks) < 2 {
+		return nil
+	}
+	out := make([]string, 0, len(toks)-1)
+	for i := 0; i+1 < len(toks); i++ {
+		out = append(out, toks[i]+"_"+toks[i+1])
+	}
+	return out
+}
+
+// Jaccard computes set overlap of two token lists.
+func Jaccard(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	sa := map[string]bool{}
+	for _, t := range a {
+		sa[t] = true
+	}
+	inter := 0
+	sb := map[string]bool{}
+	for _, t := range b {
+		if sb[t] {
+			continue
+		}
+		sb[t] = true
+		if sa[t] {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Recall computes |a ∩ b| / |a|: how much of a is covered by b.
+func Recall(a, b []string) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	sb := map[string]bool{}
+	for _, t := range b {
+		sb[t] = true
+	}
+	sa := map[string]bool{}
+	hit := 0
+	for _, t := range a {
+		if sa[t] {
+			continue
+		}
+		sa[t] = true
+		if sb[t] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(sa))
+}

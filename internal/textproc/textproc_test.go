@@ -1,0 +1,127 @@
+package textproc
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("How many flights, at 8:30, cost $12.5?")
+	want := []string{"how", "many", "flights", "at", "8", "30", "cost", "12.5"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v", got)
+	}
+}
+
+func TestTokenizeContractions(t *testing.T) {
+	got := Tokenize("Iraq's don't")
+	want := []string{"iraqs", "dont"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v", got)
+	}
+}
+
+func TestContentTokensDropsStopwords(t *testing.T) {
+	got := ContentTokens("Show the names of the countries")
+	for _, tok := range got {
+		if IsStopword(tok) {
+			t.Fatalf("stopword survived: %q in %v", tok, got)
+		}
+	}
+}
+
+func TestStem(t *testing.T) {
+	cases := map[string]string{
+		"flights": "flight", "cities": "city", "ranked": "rank",
+		"running": "runn", "classes": "classe", "bus": "bus", "miss": "miss",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q want %q", in, got, want)
+		}
+	}
+}
+
+func TestCanonicalClasses(t *testing.T) {
+	if Canonical("many") != "count" || Canonical("highest") != "max" || Canonical("above") != "greater" {
+		t.Fatal("canonical classes broken")
+	}
+	if Canonical("flight") != "flight" {
+		t.Fatal("unknown tokens must pass through")
+	}
+}
+
+func TestApplyPhrases(t *testing.T) {
+	got := ApplyPhrases([]string{"visits", "at", "least", "14"})
+	want := []string{"visits", "greater", "14"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ApplyPhrases = %v", got)
+	}
+	got = ApplyPhrases([]string{"how", "many", "pets"})
+	if got[0] != "count" {
+		t.Fatalf("how many -> %v", got)
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	got := Numbers("population over 80000 or 2.0 or 1.5")
+	want := []string{"80000", "2", "1.5"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Numbers = %v", got)
+	}
+}
+
+func TestBigrams(t *testing.T) {
+	got := Bigrams([]string{"a", "b", "c"})
+	want := []string{"a_b", "b_c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Bigrams = %v", got)
+	}
+	if Bigrams([]string{"x"}) != nil {
+		t.Fatal("single token has no bigrams")
+	}
+}
+
+func TestJaccardAndRecall(t *testing.T) {
+	a := []string{"x", "y"}
+	b := []string{"y", "z"}
+	if j := Jaccard(a, b); j != 1.0/3.0 {
+		t.Fatalf("Jaccard = %v", j)
+	}
+	if r := Recall(a, b); r != 0.5 {
+		t.Fatalf("Recall = %v", r)
+	}
+	if Jaccard(nil, nil) != 0 || Recall(nil, b) != 0 {
+		t.Fatal("empty-input handling broken")
+	}
+}
+
+func TestJaccardSymmetryProperty(t *testing.T) {
+	f := func(a, b []string) bool { return Jaccard(a, b) == Jaccard(b, a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecallBoundsProperty(t *testing.T) {
+	f := func(a, b []string) bool {
+		r := Recall(a, b)
+		return r >= 0 && r <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecallSelfIsOne(t *testing.T) {
+	f := func(a []string) bool {
+		if len(a) == 0 {
+			return true
+		}
+		return Recall(a, a) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,66 @@
+package userstudy
+
+import (
+	"testing"
+)
+
+func items() (grounded, blind Item) {
+	q := "What is the total number of languages used in Aruba?"
+	grounded = Item{
+		Question: q,
+		Result:   "4",
+		Explanation: "The query output is a result set with one column and one row, filtered by country name Aruba. " +
+			"In this specific result, country Aruba, whose country code is ABW, has four spoken languages. So the count of languages is 4.",
+	}
+	blind = Item{
+		Question:    q,
+		Result:      "4",
+		Explanation: "Find the number of languages from country joined with country language where name is Aruba.",
+	}
+	return grounded, blind
+}
+
+func TestScoreRange(t *testing.T) {
+	g, _ := items()
+	for _, dim := range []Dimension{Interpretability, Entailment, Overall} {
+		r := Score(g, dim, 1)
+		if r.Mean < 1 || r.Mean > 10 || r.Min < 1 || r.Max > 10 || r.Min > r.Max {
+			t.Fatalf("%s: rating out of range: %+v", dim, r)
+		}
+	}
+}
+
+// The paper's central comparative finding: the data-grounded explanation
+// rates above the query-surface one, and most raters prefer it.
+func TestGroundedExplanationPreferred(t *testing.T) {
+	g, b := items()
+	for _, dim := range []Dimension{Interpretability, Overall} {
+		rg := Score(g, dim, 7)
+		rb := Score(b, dim, 7)
+		if rg.Mean <= rb.Mean {
+			t.Fatalf("%s: grounded %.2f must beat blind %.2f", dim, rg.Mean, rb.Mean)
+		}
+	}
+	if prefer := Compare(g, b, 7); prefer <= Participants/2 {
+		t.Fatalf("majority must prefer the grounded explanation, got %d/%d", prefer, Participants)
+	}
+}
+
+func TestScoreDeterministicPerSeed(t *testing.T) {
+	g, _ := items()
+	a := Score(g, Overall, 3)
+	b := Score(g, Overall, 3)
+	if a.Mean != b.Mean {
+		t.Fatal("seeded scoring must be deterministic")
+	}
+	c := Score(g, Overall, 4)
+	if a.Mean == c.Mean {
+		t.Fatal("different seeds should perturb ratings")
+	}
+}
+
+func TestVerdictBuckets(t *testing.T) {
+	if (Rating{Mean: 8}).Verdict() != "great" || (Rating{Mean: 5}).Verdict() != "neutral" || (Rating{Mean: 2}).Verdict() != "bad" {
+		t.Fatal("verdict buckets wrong")
+	}
+}

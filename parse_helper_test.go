@@ -1,0 +1,8 @@
+package cyclesql
+
+import (
+	"cyclesql/internal/sqlast"
+	"cyclesql/internal/sqlparse"
+)
+
+func parse(sql string) (*sqlast.SelectStmt, error) { return sqlparse.Parse(sql) }
