@@ -1,0 +1,3 @@
+module cyclesql
+
+go 1.24

@@ -37,15 +37,44 @@ type DataGrounded struct {
 	// Polish optionally refines explanation fluency; verification uses the
 	// raw mechanical text either way (the paper polishes only for users).
 	Polish explain.Polisher
+	// shared, when non-nil, keeps one explainer per database alive across
+	// candidates so provenance queries reuse compiled statements. The zero
+	// value stays stateless (a fresh explainer per call).
+	shared *explainerCache
+}
+
+// explainerCache holds the per-database explainer DataGrounded reuses.
+type explainerCache struct {
+	db *storage.Database
+	e  *explain.Explainer
+}
+
+// NewDataGrounded returns a DataGrounded feedback that reuses one explainer
+// (and its compiled provenance statements) per database across candidates.
+func NewDataGrounded() DataGrounded {
+	return DataGrounded{shared: &explainerCache{}}
 }
 
 // Name implements Feedback.
 func (DataGrounded) Name() string { return "cyclesql" }
 
+func (d DataGrounded) explainer(db *storage.Database) *explain.Explainer {
+	if d.shared == nil {
+		e := explain.New(db)
+		e.Polish = d.Polish
+		return e
+	}
+	if d.shared.db != db {
+		d.shared.db = db
+		d.shared.e = explain.New(db)
+	}
+	d.shared.e.Polish = d.Polish
+	return d.shared.e
+}
+
 // Premise implements Feedback.
 func (d DataGrounded) Premise(db *storage.Database, stmt *sqlast.SelectStmt, result *sqltypes.Relation) (nli.Premise, error) {
-	e := explain.New(db)
-	e.Polish = d.Polish
+	e := d.explainer(db)
 	// The paper explains one representative result tuple; the first row is
 	// the deterministic choice (training randomizes, inference does not).
 	exp, err := e.Explain(stmt, result, 0)
@@ -91,7 +120,7 @@ func NewPipeline(model nl2sql.Model, verifier nli.Verifier, benchmark string) *P
 	return &Pipeline{
 		Model:     model,
 		Verifier:  verifier,
-		Feedback:  DataGrounded{},
+		Feedback:  NewDataGrounded(),
 		BeamSize:  8,
 		Benchmark: benchmark,
 	}
@@ -117,6 +146,9 @@ func (p *Pipeline) Translate(ex datasets.Example, db *storage.Database) (*Result
 	res := &Result{Candidates: candidates}
 	start := time.Now()
 	defer func() { res.Overhead = time.Since(start) }()
+	// One executor serves every candidate; beam candidates are fresh ASTs
+	// per Translate call, so plan reuse across calls happens one layer
+	// down, in the feedback's explainer/tracker (see DataGrounded).
 	executor := sqleval.New(db)
 	for i, cand := range candidates {
 		res.Iterations = i + 1

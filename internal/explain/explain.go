@@ -46,17 +46,25 @@ type Explainer struct {
 	DB     *storage.Database
 	Polish Polisher // optional
 
+	// tracker persists across Explain calls so repeated explanations
+	// against the same database reuse compiled provenance statements.
+	tracker     *provenance.Tracker
 	currentProv *provenance.Provenance
 }
 
 // New returns an Explainer over db with no polisher.
-func New(db *storage.Database) *Explainer { return &Explainer{DB: db} }
+func New(db *storage.Database) *Explainer {
+	return &Explainer{DB: db, tracker: provenance.NewTracker(db)}
+}
 
 // Explain produces the explanation for row rowIdx of result, which must be
 // the output of executing stmt against e.DB. For empty results the
 // explanation is generated from operation-level semantics alone.
 func (e *Explainer) Explain(stmt *sqlast.SelectStmt, result *sqltypes.Relation, rowIdx int) (*Explanation, error) {
-	prov, err := provenance.Track(e.DB, stmt, result, rowIdx)
+	if e.tracker == nil || e.tracker.DB() != e.DB {
+		e.tracker = provenance.NewTracker(e.DB)
+	}
+	prov, err := e.tracker.Track(stmt, result, rowIdx)
 	if err != nil {
 		return nil, err
 	}

@@ -51,10 +51,42 @@ type Provenance struct {
 // handful of representative tuples.
 const RowLimit = 64
 
+// Tracker computes provenance against one database. It keeps one executor
+// alive across Track calls — so every provenance query benefits from the
+// executor's compiled-plan cache — and memoizes the rewritten statement per
+// (core, to-explain tuple), so re-tracking the same result (the CycleSQL
+// loop explains candidates repeatedly during training and experiments)
+// reuses the compiled statement instead of rebuilding and recompiling it.
+// A Tracker is not safe for concurrent use.
+type Tracker struct {
+	db       *storage.Database
+	ex       *sqleval.Executor
+	rewrites map[rewriteKey]*sqlast.SelectStmt
+}
+
+// rewriteKey identifies a provenance rewrite: the core plus the binary
+// encoding of the to-explain tuple (the only inputs Rule 1 pins vary on).
+type rewriteKey struct {
+	core *sqlast.SelectCore
+	row  string
+}
+
+// maxCachedRewrites bounds the per-tracker rewrite cache.
+const maxCachedRewrites = 256
+
+// NewTracker returns a tracker over db.
+func NewTracker(db *storage.Database) *Tracker {
+	return &Tracker{db: db, ex: sqleval.New(db)}
+}
+
+// DB returns the database the tracker is bound to.
+func (t *Tracker) DB() *storage.Database { return t.db }
+
 // Track computes the provenance of result row rowIdx of stmt's output.
-// result must be the relation produced by executing stmt on db. For empty
-// results, Track returns a Provenance with Empty set and no Parts.
-func Track(db *storage.Database, stmt *sqlast.SelectStmt, result *sqltypes.Relation, rowIdx int) (*Provenance, error) {
+// result must be the relation produced by executing stmt on t's database.
+// For empty results, Track returns a Provenance with Empty set and no
+// Parts.
+func (t *Tracker) Track(stmt *sqlast.SelectStmt, result *sqltypes.Relation, rowIdx int) (*Provenance, error) {
 	p := &Provenance{Original: stmt, ResultSet: result, ResultColumns: result.Columns}
 	if result.NumRows() == 0 {
 		p.Empty = true
@@ -64,10 +96,9 @@ func Track(db *storage.Database, stmt *sqlast.SelectStmt, result *sqltypes.Relat
 		return nil, fmt.Errorf("provenance: row %d out of range (%d rows)", rowIdx, result.NumRows())
 	}
 	p.Result = result.Rows[rowIdx]
-	ex := sqleval.New(db)
 	for _, core := range stmt.Cores {
-		rw := RewriteCore(db, core, result.Columns, p.Result)
-		rel, err := ex.Exec(rw)
+		rw := t.rewrite(core, result.Columns, p.Result)
+		rel, err := t.ex.Exec(rw)
 		if err != nil {
 			// A rewrite that fails to execute (for example a Rule 1
 			// condition against a column dropped by the core) degrades to
@@ -81,6 +112,28 @@ func Track(db *storage.Database, stmt *sqlast.SelectStmt, result *sqltypes.Relat
 		p.Parts = append(p.Parts, Part{Core: core, Rewritten: rw, Table: rel})
 	}
 	return p, nil
+}
+
+func (t *Tracker) rewrite(core *sqlast.SelectCore, resultCols []string, result sqltypes.Row) *sqlast.SelectStmt {
+	k := rewriteKey{core: core, row: string(result.AppendKey(nil))}
+	if rw, ok := t.rewrites[k]; ok {
+		return rw
+	}
+	rw := RewriteCore(t.db, core, resultCols, result)
+	if t.rewrites == nil {
+		t.rewrites = make(map[rewriteKey]*sqlast.SelectStmt)
+	} else if len(t.rewrites) >= maxCachedRewrites {
+		clear(t.rewrites)
+	}
+	t.rewrites[k] = rw
+	return rw
+}
+
+// Track computes the provenance of result row rowIdx of stmt's output with
+// a one-shot tracker. Callers tracking repeatedly against the same
+// database should hold a Tracker instead to reuse compiled statements.
+func Track(db *storage.Database, stmt *sqlast.SelectStmt, result *sqltypes.Relation, rowIdx int) (*Provenance, error) {
+	return NewTracker(db).Track(stmt, result, rowIdx)
 }
 
 // RewriteCore applies the three rewriting rules to a single SELECT core,

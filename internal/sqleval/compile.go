@@ -1,0 +1,528 @@
+package sqleval
+
+import (
+	"fmt"
+	"strings"
+
+	"cyclesql/internal/sqlast"
+	"cyclesql/internal/sqltypes"
+)
+
+// This file implements the compile phase: it resolves every column
+// reference to a fixed (depth, offset) frame coordinate, expands stars,
+// detects equi-join keys in ON/WHERE, and lowers the statement into a
+// program of closures the execute phase runs without any per-row name
+// resolution or environment allocation.
+
+// scope is the compile-time mirror of the runtime frame: one binding per
+// FROM entry, with the flat-row offset each table's columns start at.
+// parent links to the enclosing query's scope for correlated subqueries.
+type scope struct {
+	bindings []scopeBinding
+	width    int
+	parent   *scope
+}
+
+type scopeBinding struct {
+	name   string // effective (alias or table) name, lower-case
+	cols   []string
+	offset int
+}
+
+// resolve finds (depth, flat offset) for a column reference, mirroring the
+// legacy per-row env.lookup order: bindings of the nearest scope first, in
+// FROM order, then outward through enclosing scopes.
+func (s *scope) resolve(table, column string) (depth, idx int, ok bool) {
+	tl, cl := strings.ToLower(table), strings.ToLower(column)
+	d := 0
+	for cur := s; cur != nil; cur = cur.parent {
+		for bi := range cur.bindings {
+			b := &cur.bindings[bi]
+			if tl != "" && b.name != tl {
+				continue
+			}
+			for ci, c := range b.cols {
+				if c == cl {
+					return d, b.offset + ci, true
+				}
+			}
+		}
+		d++
+	}
+	return 0, 0, false
+}
+
+// rowCtx is the runtime environment a compiled expression evaluates in:
+// the current flat frame row, the enclosing query's context for correlated
+// references, and — during grouped projection — the rows of the current
+// group for aggregate closures.
+type rowCtx struct {
+	row    sqltypes.Row
+	parent *rowCtx
+	grp    *groupRows
+}
+
+// groupRows carries one group's member rows into aggregate closures.
+type groupRows struct {
+	rows []sqltypes.Row
+}
+
+// compiledExpr evaluates one expression against a row context.
+type compiledExpr func(ctx *rowCtx) (sqltypes.Value, error)
+
+// program is a fully compiled statement: one compiled core per SELECT core
+// plus the set operations combining them.
+type program struct {
+	cores []*compiledCore
+	ops   []sqlast.CompoundOp
+}
+
+// columns returns the output column labels (those of the first core, as
+// with set operations in SQLite).
+func (p *program) columns() []string { return p.cores[0].labels() }
+
+// compiledCore is one lowered SELECT core.
+type compiledCore struct {
+	core  *sqlast.SelectCore
+	scans []*tableScan
+	joins []*joinPlan // joins[i] combines scans[i+1] into the frame
+	// baseFilters are WHERE conjuncts pushed down to the base scan
+	// (all-inner-join cores only); filters run after the joins.
+	baseFilters []compiledExpr
+	filters     []compiledExpr
+	items       []compiledItem
+	groupBy     []compiledExpr
+	having      compiledExpr
+	orderKeys   []orderKey
+	hasAgg      bool
+	width       int
+}
+
+func (cc *compiledCore) labels() []string {
+	out := make([]string, len(cc.items))
+	for i, it := range cc.items {
+		out[i] = it.label
+	}
+	return out
+}
+
+// tableScan is one FROM entry: a base table (resolved to its live relation
+// at compile time) or a compiled derived table.
+type tableScan struct {
+	rel    *sqltypes.Relation // base table; nil for derived tables
+	sub    *program           // derived table; nil for base tables
+	offset int
+	width  int
+}
+
+func (ts *tableScan) rows(ex *Executor, outer *rowCtx) ([]sqltypes.Row, bool, error) {
+	if ts.sub == nil {
+		return ts.rel.Rows, false, nil
+	}
+	rel, err := ex.runProgram(ts.sub, outer)
+	if err != nil {
+		return nil, false, err
+	}
+	return rel.Rows, true, nil
+}
+
+// joinPlan describes how one table joins into the frame. eqAcc/eqNew are
+// the paired equi-key offsets (eqAcc into the accumulated frame row, eqNew
+// into the new table's own row); residual holds the remaining ON conjuncts
+// plus any pushed-down WHERE conjuncts, evaluated on the combined row.
+type joinPlan struct {
+	left     bool
+	eqAcc    []int
+	eqNew    []int
+	residual []compiledExpr
+}
+
+// compiledItem is one output column: its label, the rendered SQL of its
+// source expression (for ORDER BY textual matching), and its value closure.
+type compiledItem struct {
+	label string
+	sql   string
+	fn    compiledExpr
+}
+
+// orderKey is one ORDER BY key: either a projected column index (positional
+// references, alias references, and expressions textually identical to a
+// projection item) or a compiled expression.
+type orderKey struct {
+	projIdx int // -1 when fn is used
+	fn      compiledExpr
+	desc    bool
+}
+
+// compiler lowers statements for one executor. The executor binding is
+// what lets base-table scans resolve to live relations at compile time.
+type compiler struct {
+	ex    *Executor
+	depth int
+}
+
+func (c *compiler) compileStmt(stmt *sqlast.SelectStmt, parent *scope) (*program, error) {
+	if stmt == nil || len(stmt.Cores) == 0 {
+		return nil, fmt.Errorf("sqleval: empty statement")
+	}
+	c.depth++
+	defer func() { c.depth-- }()
+	if c.depth > maxSubqueryDepth {
+		return nil, fmt.Errorf("sqleval: subquery nesting exceeds %d", maxSubqueryDepth)
+	}
+	p := &program{ops: stmt.Ops}
+	for _, core := range stmt.Cores {
+		cc, err := c.compileCore(core, parent)
+		if err != nil {
+			return nil, err
+		}
+		p.cores = append(p.cores, cc)
+	}
+	return p, nil
+}
+
+func (c *compiler) compileCore(core *sqlast.SelectCore, parent *scope) (*compiledCore, error) {
+	cc := &compiledCore{core: core}
+	sc := &scope{parent: parent}
+	allInner := true
+	if core.From != nil {
+		refs := []sqlast.TableRef{core.From.Base}
+		for _, j := range core.From.Joins {
+			refs = append(refs, j.Table)
+		}
+		for i, ref := range refs {
+			ts, cols, err := c.compileScan(ref, parent)
+			if err != nil {
+				return nil, err
+			}
+			ts.offset = sc.width
+			sc.bindings = append(sc.bindings, scopeBinding{
+				name:   strings.ToLower(ref.Effective()),
+				cols:   cols,
+				offset: ts.offset,
+			})
+			sc.width += ts.width
+			cc.scans = append(cc.scans, ts)
+			if i > 0 {
+				// The progressive scope now covers both sides of the join,
+				// so ON can reference every table joined so far but none
+				// joined later (matching the legacy runtime lookup).
+				join := core.From.Joins[i-1]
+				jp, err := c.compileJoin(join, sc, ts)
+				if err != nil {
+					return nil, err
+				}
+				if jp.left {
+					allInner = false
+				}
+				cc.joins = append(cc.joins, jp)
+			}
+		}
+	}
+	cc.width = sc.width
+
+	// WHERE splits into conjuncts; for all-inner-join cores, equi conjuncts
+	// across tables become join keys and fully-bound conjuncts filter at the
+	// earliest scan or join where their columns exist. LEFT JOIN disables
+	// the pushdown: filtering before null extension would change results.
+	for _, conj := range sqlast.Conjuncts(core.Where) {
+		if allInner && len(cc.scans) > 1 && !c.ex.NestedLoopOnly {
+			if c.pushConjunct(cc, sc, conj) {
+				continue
+			}
+		}
+		fn, err := c.compileExpr(conj, sc)
+		if err != nil {
+			return nil, err
+		}
+		cc.filters = append(cc.filters, fn)
+	}
+
+	items, starts, err := c.compileItems(core, sc)
+	if err != nil {
+		return nil, err
+	}
+	cc.items = items
+
+	for _, g := range core.GroupBy {
+		fn, err := c.compileExpr(g, sc)
+		if err != nil {
+			return nil, err
+		}
+		cc.groupBy = append(cc.groupBy, fn)
+	}
+	if core.Having != nil {
+		if cc.having, err = c.compileExpr(core.Having, sc); err != nil {
+			return nil, err
+		}
+	}
+	cc.hasAgg = core.HasAggregate()
+
+	for _, o := range core.OrderBy {
+		idx, kexpr := orderKeyExpr(o, core.Items, items, starts)
+		ok := orderKey{projIdx: idx, desc: o.Desc}
+		if kexpr != nil {
+			ok.projIdx = -1
+			if ok.fn, err = c.compileExpr(kexpr, sc); err != nil {
+				return nil, err
+			}
+		}
+		cc.orderKeys = append(cc.orderKeys, ok)
+	}
+	return cc, nil
+}
+
+func (c *compiler) compileScan(ref sqlast.TableRef, parent *scope) (*tableScan, []string, error) {
+	if ref.Sub != nil {
+		sub, err := c.compileStmt(ref.Sub, parent)
+		if err != nil {
+			return nil, nil, err
+		}
+		outCols := sub.columns()
+		cols := make([]string, len(outCols))
+		for i, col := range outCols {
+			// Strip qualifiers so derived-table columns bind by bare name.
+			if dot := strings.LastIndexByte(col, '.'); dot >= 0 {
+				col = col[dot+1:]
+			}
+			cols[i] = strings.ToLower(col)
+		}
+		return &tableScan{sub: sub, width: len(cols)}, cols, nil
+	}
+	rel := c.ex.db.Table(ref.Name)
+	if rel == nil {
+		return nil, nil, fmt.Errorf("sqleval: unknown table %q", ref.Name)
+	}
+	cols := make([]string, len(rel.Columns))
+	for i, col := range rel.Columns {
+		cols[i] = strings.ToLower(col)
+	}
+	return &tableScan{rel: rel, width: len(cols)}, cols, nil
+}
+
+// compileJoin splits the ON condition into equi-key pairs (one side bound
+// by earlier tables, the other by the table being joined) and a residual
+// conjunct list evaluated per candidate pair.
+func (c *compiler) compileJoin(j sqlast.Join, sc *scope, ts *tableScan) (*joinPlan, error) {
+	jp := &joinPlan{left: j.Type == sqlast.LeftJoin}
+	for _, conj := range sqlast.Conjuncts(j.On) {
+		if accIdx, newIdx, ok := c.equiKey(conj, sc, ts); ok {
+			jp.eqAcc = append(jp.eqAcc, accIdx)
+			jp.eqNew = append(jp.eqNew, newIdx)
+			continue
+		}
+		fn, err := c.compileExpr(conj, sc)
+		if err != nil {
+			return nil, err
+		}
+		jp.residual = append(jp.residual, fn)
+	}
+	return jp, nil
+}
+
+// equiKey recognizes conjuncts of the form a.x = b.y where exactly one side
+// binds inside the table being joined and the other binds earlier in the
+// same frame. Matching by encoded key equals the = operator: joinKey uses
+// a Compare-consistent encoding (NULL keys never match, numerics compare
+// as float64 across kinds).
+func (c *compiler) equiKey(conj sqlast.Expr, sc *scope, ts *tableScan) (accIdx, newIdx int, ok bool) {
+	if c.ex.NestedLoopOnly {
+		return 0, 0, false
+	}
+	b, isBin := conj.(*sqlast.Binary)
+	if !isBin || b.Op != "=" {
+		return 0, 0, false
+	}
+	lref, lok := b.L.(*sqlast.ColumnRef)
+	rref, rok := b.R.(*sqlast.ColumnRef)
+	if !lok || !rok || lref.Column == "*" || rref.Column == "*" {
+		return 0, 0, false
+	}
+	ld, li, lfound := sc.resolve(lref.Table, lref.Column)
+	rd, ri, rfound := sc.resolve(rref.Table, rref.Column)
+	if !lfound || !rfound || ld != 0 || rd != 0 {
+		return 0, 0, false
+	}
+	lNew := li >= ts.offset
+	rNew := ri >= ts.offset
+	switch {
+	case lNew && !rNew:
+		return ri, li - ts.offset, true
+	case rNew && !lNew:
+		return li, ri - ts.offset, true
+	default:
+		return 0, 0, false
+	}
+}
+
+// pushConjunct tries to evaluate a WHERE conjunct earlier: equi conjuncts
+// across two tables become join keys, fully-bound conjuncts attach to the
+// base scan or the join that completes their bindings. Returns false when
+// the conjunct must stay in the post-join filter (correlated references,
+// bare stars, or resolution failures that should error in compileExpr).
+func (c *compiler) pushConjunct(cc *compiledCore, sc *scope, conj sqlast.Expr) bool {
+	maxOff, depth0Only, resolvable := c.conjunctSpan(conj, sc)
+	if !resolvable || !depth0Only {
+		return false
+	}
+	// Which join completes the bindings? joinIdx -1 means the base scan.
+	joinIdx := -1
+	for i := 1; i < len(cc.scans); i++ {
+		if maxOff >= cc.scans[i].offset {
+			joinIdx = i - 1
+		}
+	}
+	if joinIdx >= 0 {
+		jp := cc.joins[joinIdx]
+		if accIdx, newIdx, ok := c.equiKey(conj, sc, cc.scans[joinIdx+1]); ok {
+			jp.eqAcc = append(jp.eqAcc, accIdx)
+			jp.eqNew = append(jp.eqNew, newIdx)
+			return true
+		}
+		fn, err := c.compileExpr(conj, sc)
+		if err != nil {
+			return false
+		}
+		jp.residual = append(jp.residual, fn)
+		return true
+	}
+	fn, err := c.compileExpr(conj, sc)
+	if err != nil {
+		return false
+	}
+	cc.baseFilters = append(cc.baseFilters, fn)
+	return true
+}
+
+// conjunctSpan reports the maximum depth-0 frame offset a conjunct touches,
+// whether every reference resolves at depth 0, and whether all references
+// resolve at all. Subqueries make the conjunct unpushable (they may hold
+// correlated references into the current frame that a progressive scope
+// cannot see yet — keep them in the post-join filter).
+func (c *compiler) conjunctSpan(conj sqlast.Expr, sc *scope) (maxOff int, depth0Only, resolvable bool) {
+	depth0Only, resolvable = true, true
+	sqlast.WalkExpr(conj, func(e sqlast.Expr) bool {
+		switch x := e.(type) {
+		case *sqlast.ColumnRef:
+			if x.Column == "*" {
+				resolvable = false
+				return false
+			}
+			d, idx, ok := sc.resolve(x.Table, x.Column)
+			if !ok {
+				resolvable = false
+				return false
+			}
+			if d != 0 {
+				depth0Only = false
+				return false
+			}
+			if idx > maxOff {
+				maxOff = idx
+			}
+		case *sqlast.InExpr:
+			if x.Sub != nil {
+				depth0Only = false
+				return false
+			}
+		case *sqlast.ExistsExpr, *sqlast.SubqueryExpr:
+			depth0Only = false
+			return false
+		}
+		return true
+	})
+	return maxOff, depth0Only, resolvable
+}
+
+// compileItems expands * and t.* against the frame and compiles every
+// projection expression. Labels follow the legacy executor: the alias when
+// present, else the rendered SQL of the expression. starts maps each core
+// item to its first expanded output index, so alias references (ORDER BY
+// an AS name) land on the right column even when a star precedes them.
+func (c *compiler) compileItems(core *sqlast.SelectCore, sc *scope) (items []compiledItem, starts []int, err error) {
+	addCol := func(b scopeBinding, ci int) {
+		off := b.offset + ci
+		sql := sqlast.ExprSQL(&sqlast.ColumnRef{Table: b.name, Column: b.cols[ci]})
+		items = append(items, compiledItem{label: b.cols[ci], sql: sql, fn: columnAt(0, off)})
+	}
+	for _, it := range core.Items {
+		starts = append(starts, len(items))
+		switch {
+		case it.Star && it.TableStar == "":
+			for _, b := range sc.bindings {
+				for ci := range b.cols {
+					addCol(b, ci)
+				}
+			}
+		case it.Star:
+			name := strings.ToLower(it.TableStar)
+			found := false
+			for _, b := range sc.bindings {
+				if b.name == name {
+					for ci := range b.cols {
+						addCol(b, ci)
+					}
+					found = true
+				}
+			}
+			if !found {
+				return nil, nil, fmt.Errorf("sqleval: unknown table %q in %s.*", it.TableStar, it.TableStar)
+			}
+		default:
+			label := it.Alias
+			if label == "" {
+				label = sqlast.ExprSQL(it.Expr)
+			}
+			fn, err := c.compileExpr(it.Expr, sc)
+			if err != nil {
+				return nil, nil, err
+			}
+			items = append(items, compiledItem{label: label, sql: sqlast.ExprSQL(it.Expr), fn: fn})
+		}
+	}
+	return items, starts, nil
+}
+
+// orderKeyExpr resolves an ORDER BY expression: positional references
+// (ORDER BY 2) and alias references resolve to the projected item; an
+// expression textually identical to a projection item reuses its computed
+// value (which also lets grouped ORDER BY count(*) hit the aggregate
+// result); anything else evaluates in the row context.
+func orderKeyExpr(o sqlast.OrderItem, coreItems []sqlast.SelectItem, items []compiledItem, starts []int) (projIdx int, expr sqlast.Expr) {
+	if lit, ok := o.Expr.(*sqlast.Literal); ok && lit.Value.Kind() == sqltypes.KindInt {
+		idx := int(lit.Value.Int()) - 1
+		if idx >= 0 && idx < len(items) {
+			return idx, nil
+		}
+	}
+	if cr, ok := o.Expr.(*sqlast.ColumnRef); ok && cr.Table == "" {
+		for i, it := range coreItems {
+			if it.Alias != "" && strings.EqualFold(it.Alias, cr.Column) {
+				return starts[i], nil
+			}
+		}
+	}
+	oSQL := sqlast.ExprSQL(o.Expr)
+	for i, it := range items {
+		if strings.EqualFold(it.sql, oSQL) {
+			return i, nil
+		}
+	}
+	return -1, o.Expr
+}
+
+// columnAt returns the closure for a resolved column coordinate.
+func columnAt(depth, idx int) compiledExpr {
+	if depth == 0 {
+		return func(ctx *rowCtx) (sqltypes.Value, error) {
+			return ctx.row[idx], nil
+		}
+	}
+	return func(ctx *rowCtx) (sqltypes.Value, error) {
+		cur := ctx
+		for d := depth; d > 0; d-- {
+			cur = cur.parent
+		}
+		return cur.row[idx], nil
+	}
+}

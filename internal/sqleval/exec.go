@@ -1,18 +1,28 @@
 // Package sqleval executes sqlast statements against a storage.Database.
-// It implements the full Spider dialect: nested-loop joins (inner and
-// left), tri-state WHERE logic, grouping with HAVING, the five SQL
-// aggregates with DISTINCT, ordering, limits, set operations, and
-// correlated subqueries (IN, EXISTS, scalar).
+// It implements the full Spider dialect: equi-joins (inner and left),
+// tri-state WHERE logic, grouping with HAVING, the five SQL aggregates
+// with DISTINCT, ordering, limits, set operations, and correlated
+// subqueries (IN, EXISTS, scalar).
 //
-// The executor is deliberately a straightforward tuple-at-a-time
-// interpreter: benchmark databases hold hundreds to thousands of rows, and
-// the provenance tracker depends on the executor's simple, auditable
-// semantics more than on throughput.
+// The executor is a two-phase compile-and-execute engine. The compile
+// phase (compile.go) runs once per statement: it resolves every column
+// reference to a fixed frame coordinate, expands stars, detects equi-join
+// keys in ON and WHERE, pushes filters below inner joins, and lowers every
+// expression into a closure. The execute phase streams rows through hash
+// equi-joins (build side chosen by cardinality, nested-loop fallback for
+// non-equi conditions), evaluates the pre-bound closures directly against
+// flat rows — no per-row environment allocation, no name lookups — and
+// uses compact binary row keys (sqltypes.AppendKey) for every dedup,
+// grouping, and join-matching structure. Compiled plans are cached per
+// executor keyed by statement identity, so re-executing a statement (the
+// CycleSQL loop runs every candidate plus every provenance rewrite) skips
+// straight to execution. Statements must not be mutated between
+// executions through the same executor.
 package sqleval
 
 import (
 	"fmt"
-	"strings"
+	"math"
 
 	"cyclesql/internal/sqlast"
 	"cyclesql/internal/sqltypes"
@@ -24,6 +34,14 @@ type Executor struct {
 	db *storage.Database
 	// depth guards against pathological recursion from corrupted queries.
 	depth int
+	// plans caches compiled programs by statement identity.
+	plans map[*sqlast.SelectStmt]*program
+
+	// NestedLoopOnly disables equi-join detection and filter pushdown so
+	// every join runs the nested-loop fallback. It exists to verify that
+	// both join paths produce identical relations; set it before the first
+	// Exec of a statement (plans are cached per statement).
+	NestedLoopOnly bool
 }
 
 // New returns an executor over db.
@@ -32,28 +50,50 @@ func New(db *storage.Database) *Executor { return &Executor{db: db} }
 // maxSubqueryDepth bounds nesting; benchmark queries nest at most 3 deep.
 const maxSubqueryDepth = 16
 
-// Exec runs the statement and returns its result relation.
+// maxCachedPlans bounds the per-executor plan cache; long-lived executors
+// (the CycleSQL pipeline keeps one per database) reset it on overflow.
+const maxCachedPlans = 512
+
+// Exec compiles the statement (or reuses its cached plan) and returns its
+// result relation.
 func (ex *Executor) Exec(stmt *sqlast.SelectStmt) (*sqltypes.Relation, error) {
-	return ex.execStmt(stmt, nil)
+	prog, err := ex.compiled(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return ex.runProgram(prog, nil)
 }
 
-// ExecSQL parses nothing; it is a convenience that runs an already-parsed
-// statement and panics on nil. Kept separate so hot paths avoid re-parse.
-func (ex *Executor) execStmt(stmt *sqlast.SelectStmt, outer *env) (*sqltypes.Relation, error) {
-	if stmt == nil || len(stmt.Cores) == 0 {
-		return nil, fmt.Errorf("sqleval: empty statement")
+func (ex *Executor) compiled(stmt *sqlast.SelectStmt) (*program, error) {
+	if p, ok := ex.plans[stmt]; ok {
+		return p, nil
 	}
+	c := &compiler{ex: ex}
+	p, err := c.compileStmt(stmt, nil)
+	if err != nil {
+		return nil, err
+	}
+	if ex.plans == nil {
+		ex.plans = make(map[*sqlast.SelectStmt]*program)
+	} else if len(ex.plans) >= maxCachedPlans {
+		clear(ex.plans)
+	}
+	ex.plans[stmt] = p
+	return p, nil
+}
+
+func (ex *Executor) runProgram(p *program, outer *rowCtx) (*sqltypes.Relation, error) {
 	ex.depth++
 	defer func() { ex.depth-- }()
 	if ex.depth > maxSubqueryDepth {
 		return nil, fmt.Errorf("sqleval: subquery nesting exceeds %d", maxSubqueryDepth)
 	}
-	result, err := ex.execCore(stmt.Cores[0], outer)
+	result, err := ex.runCore(p.cores[0], outer)
 	if err != nil {
 		return nil, err
 	}
-	for i, op := range stmt.Ops {
-		rhs, err := ex.execCore(stmt.Cores[i+1], outer)
+	for i, op := range p.ops {
+		rhs, err := ex.runCore(p.cores[i+1], outer)
 		if err != nil {
 			return nil, err
 		}
@@ -70,43 +110,52 @@ func combine(l, r *sqltypes.Relation, op sqlast.CompoundOp) (*sqltypes.Relation,
 		return nil, fmt.Errorf("sqleval: %s operands have %d vs %d columns", op, l.NumCols(), r.NumCols())
 	}
 	out := sqltypes.NewRelation(l.Columns...)
+	var buf []byte
 	switch op {
 	case sqlast.UnionAll:
 		out.Rows = append(append(out.Rows, l.Rows...), r.Rows...)
 	case sqlast.Union:
-		seen := map[string]bool{}
+		seen := make(map[string]struct{}, len(l.Rows))
 		for _, rows := range [][]sqltypes.Row{l.Rows, r.Rows} {
 			for _, row := range rows {
-				k := row.Key()
-				if !seen[k] {
-					seen[k] = true
+				buf = row.AppendKey(buf[:0])
+				if _, dup := seen[string(buf)]; !dup {
+					seen[string(buf)] = struct{}{}
 					out.Append(row)
 				}
 			}
 		}
 	case sqlast.Intersect:
-		inR := map[string]bool{}
+		inR := make(map[string]struct{}, len(r.Rows))
 		for _, row := range r.Rows {
-			inR[row.Key()] = true
+			buf = row.AppendKey(buf[:0])
+			inR[string(buf)] = struct{}{}
 		}
-		seen := map[string]bool{}
+		seen := make(map[string]struct{})
 		for _, row := range l.Rows {
-			k := row.Key()
-			if inR[k] && !seen[k] {
-				seen[k] = true
+			buf = row.AppendKey(buf[:0])
+			if _, hit := inR[string(buf)]; !hit {
+				continue
+			}
+			if _, dup := seen[string(buf)]; !dup {
+				seen[string(buf)] = struct{}{}
 				out.Append(row)
 			}
 		}
 	case sqlast.Except:
-		inR := map[string]bool{}
+		inR := make(map[string]struct{}, len(r.Rows))
 		for _, row := range r.Rows {
-			inR[row.Key()] = true
+			buf = row.AppendKey(buf[:0])
+			inR[string(buf)] = struct{}{}
 		}
-		seen := map[string]bool{}
+		seen := make(map[string]struct{})
 		for _, row := range l.Rows {
-			k := row.Key()
-			if !inR[k] && !seen[k] {
-				seen[k] = true
+			buf = row.AppendKey(buf[:0])
+			if _, hit := inR[string(buf)]; hit {
+				continue
+			}
+			if _, dup := seen[string(buf)]; !dup {
+				seen[string(buf)] = struct{}{}
 				out.Append(row)
 			}
 		}
@@ -116,209 +165,259 @@ func combine(l, r *sqltypes.Relation, op sqlast.CompoundOp) (*sqltypes.Relation,
 	return out, nil
 }
 
-// binding is one table's worth of columns inside a row environment.
-type binding struct {
-	name string // effective (alias or table) name, lower-case
-	cols []string
-	vals sqltypes.Row
-}
-
-// env is a row environment: the current joined row plus the enclosing
-// query's environment for correlated subqueries.
-type env struct {
-	bindings []binding
-	parent   *env
-}
-
-func (e *env) lookup(table, column string) (sqltypes.Value, bool) {
-	tl, cl := strings.ToLower(table), strings.ToLower(column)
-	for cur := e; cur != nil; cur = cur.parent {
-		for bi := range cur.bindings {
-			b := &cur.bindings[bi]
-			if tl != "" && b.name != tl {
-				continue
-			}
-			for ci, c := range b.cols {
-				if c == cl {
-					return b.vals[ci], true
-				}
-			}
-		}
-	}
-	return sqltypes.Value{}, false
-}
-
-// frame is the working set of joined rows plus binding metadata.
-type frame struct {
-	bindings []bindingMeta
-	rows     []sqltypes.Row // flattened: concatenation of all bindings' columns
-	// pendingLeft holds the pre-join left rows between joinTable and
-	// applyJoinCondition so LEFT JOIN can null-extend unmatched rows.
-	pendingLeft []sqltypes.Row
-}
-
-type bindingMeta struct {
-	name   string
-	cols   []string
-	offset int
-	width  int
-}
-
-func (f *frame) env(row sqltypes.Row, parent *env) *env {
-	e := &env{parent: parent}
-	for _, b := range f.bindings {
-		e.bindings = append(e.bindings, binding{name: b.name, cols: b.cols, vals: row[b.offset : b.offset+b.width]})
-	}
-	return e
-}
-
-func (ex *Executor) execCore(core *sqlast.SelectCore, outer *env) (*sqltypes.Relation, error) {
-	f, err := ex.buildFrom(core, outer)
+func (ex *Executor) runCore(cc *compiledCore, outer *rowCtx) (*sqltypes.Relation, error) {
+	rows, owned, err := ex.buildFrom(cc, outer)
 	if err != nil {
 		return nil, err
 	}
-	// WHERE.
-	if core.Where != nil {
-		kept := f.rows[:0:0]
-		for _, row := range f.rows {
-			v, err := ex.eval(core.Where, f.env(row, outer), nil)
+	if len(cc.filters) > 0 {
+		kept := rows[:0]
+		if !owned {
+			kept = rows[:0:0]
+		}
+		ctx := &rowCtx{parent: outer}
+		for _, row := range rows {
+			ctx.row = row
+			ok, err := truthyAll(cc.filters, ctx)
 			if err != nil {
 				return nil, err
 			}
-			if v.Truthy() {
+			if ok {
 				kept = append(kept, row)
 			}
 		}
-		f.rows = kept
+		rows = kept
 	}
-	if len(core.GroupBy) > 0 || core.HasAggregate() {
-		return ex.projectGrouped(core, f, outer)
+	if len(cc.groupBy) > 0 || cc.hasAgg {
+		return ex.projectGrouped(cc, rows, outer)
 	}
-	return ex.projectPlain(core, f, outer)
+	return ex.projectPlain(cc, rows, outer)
 }
 
-func (ex *Executor) buildFrom(core *sqlast.SelectCore, outer *env) (*frame, error) {
-	f := &frame{}
-	if core.From == nil {
-		// SELECT without FROM evaluates items once over an empty env.
-		f.rows = []sqltypes.Row{{}}
-		return f, nil
-	}
-	if err := ex.joinTable(f, core.From.Base, outer, true, nil); err != nil {
-		return nil, err
-	}
-	for _, j := range core.From.Joins {
-		left := j.Type == sqlast.LeftJoin
-		if err := ex.joinTable(f, j.Table, outer, false, nil); err != nil {
-			return nil, err
+// truthyAll reports whether every conjunct evaluates truthy (tri-state AND
+// over a pre-split conjunct list, short-circuiting on the first non-truthy
+// value, exactly like the legacy single-expression Kleene AND).
+func truthyAll(filters []compiledExpr, ctx *rowCtx) (bool, error) {
+	for _, fn := range filters {
+		v, err := fn(ctx)
+		if err != nil {
+			return false, err
 		}
-		if j.On != nil || left {
-			if err := ex.applyJoinCondition(f, j.On, outer, left); err != nil {
+		if !v.Truthy() {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// buildFrom produces the frame rows: the base scan (filtered by any
+// pushed-down conjuncts) joined with each subsequent table. The returned
+// flag reports whether the slice is owned by the caller (safe to filter in
+// place) or shared with the storage layer.
+func (ex *Executor) buildFrom(cc *compiledCore, outer *rowCtx) ([]sqltypes.Row, bool, error) {
+	if len(cc.scans) == 0 {
+		// SELECT without FROM evaluates items once over an empty row.
+		return []sqltypes.Row{{}}, true, nil
+	}
+	rows, owned, err := cc.scans[0].rows(ex, outer)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(cc.baseFilters) > 0 {
+		kept := rows[:0]
+		if !owned {
+			kept = rows[:0:0]
+		}
+		ctx := &rowCtx{parent: outer}
+		for _, row := range rows {
+			ctx.row = row
+			ok, err := truthyAll(cc.baseFilters, ctx)
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				kept = append(kept, row)
+			}
+		}
+		rows, owned = kept, true
+	}
+	accW := cc.scans[0].width
+	for i, jp := range cc.joins {
+		next := cc.scans[i+1]
+		right, _, err := next.rows(ex, outer)
+		if err != nil {
+			return nil, false, err
+		}
+		rows, err = ex.execJoin(rows, accW, right, next.width, jp, outer)
+		if err != nil {
+			return nil, false, err
+		}
+		accW += next.width
+		owned = true
+	}
+	return rows, owned, nil
+}
+
+// execJoin combines the accumulated frame rows with one table. With equi
+// keys it runs a streaming hash join, building the hash table on the
+// smaller side; without keys it falls back to a nested loop. Both paths
+// emit rows in identical order (left-major, right rows in scan order) and
+// null-extend unmatched left rows inline for LEFT JOIN, matching rows by
+// index — never by value — so duplicate-valued rows cannot collide.
+func (ex *Executor) execJoin(acc []sqltypes.Row, accW int, right []sqltypes.Row, rightW int, jp *joinPlan, outer *rowCtx) ([]sqltypes.Row, error) {
+	outW := accW + rightW
+	scratch := make(sqltypes.Row, outW)
+	ctx := &rowCtx{parent: outer, row: scratch}
+	var out []sqltypes.Row
+
+	emit := func() {
+		combined := make(sqltypes.Row, outW)
+		copy(combined, scratch)
+		out = append(out, combined)
+	}
+	// tryPair evaluates the residual over scratch (left part already
+	// filled) and emits on success.
+	tryPair := func(rrow sqltypes.Row) (bool, error) {
+		copy(scratch[accW:], rrow)
+		if len(jp.residual) > 0 {
+			ok, err := truthyAll(jp.residual, ctx)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+		emit()
+		return true, nil
+	}
+	nullExtend := func() {
+		for i := accW; i < outW; i++ {
+			scratch[i] = sqltypes.Null()
+		}
+		emit()
+	}
+
+	if len(jp.eqAcc) == 0 {
+		// Nested loop: cross join, or arbitrary non-equi ON condition.
+		for _, lrow := range acc {
+			copy(scratch, lrow)
+			matched := false
+			for _, rrow := range right {
+				ok, err := tryPair(rrow)
+				if err != nil {
+					return nil, err
+				}
+				matched = matched || ok
+			}
+			if jp.left && !matched {
+				nullExtend()
+			}
+		}
+		return out, nil
+	}
+
+	var buf []byte
+	if len(right) <= len(acc) {
+		// Build on the right side; probe with left rows in order.
+		ht := make(map[string][]int32, len(right))
+		for ri, rrow := range right {
+			key, ok := joinKey(buf[:0], rrow, jp.eqNew)
+			if !ok {
+				continue
+			}
+			buf = key
+			ht[string(key)] = append(ht[string(key)], int32(ri))
+		}
+		for _, lrow := range acc {
+			copy(scratch, lrow)
+			matched := false
+			if key, ok := joinKey(buf[:0], lrow, jp.eqAcc); ok {
+				buf = key
+				for _, ri := range ht[string(key)] {
+					hit, err := tryPair(right[ri])
+					if err != nil {
+						return nil, err
+					}
+					matched = matched || hit
+				}
+			}
+			if jp.left && !matched {
+				nullExtend()
+			}
+		}
+		return out, nil
+	}
+
+	// Build on the (smaller) left side; a per-left match list restores the
+	// probe-left output order after scanning the right side once.
+	ht := make(map[string][]int32, len(acc))
+	for li, lrow := range acc {
+		key, ok := joinKey(buf[:0], lrow, jp.eqAcc)
+		if !ok {
+			continue
+		}
+		buf = key
+		ht[string(key)] = append(ht[string(key)], int32(li))
+	}
+	matches := make([][]int32, len(acc))
+	for ri, rrow := range right {
+		key, ok := joinKey(buf[:0], rrow, jp.eqNew)
+		if !ok {
+			continue
+		}
+		buf = key
+		for _, li := range ht[string(key)] {
+			matches[li] = append(matches[li], int32(ri))
+		}
+	}
+	for li, lrow := range acc {
+		copy(scratch, lrow)
+		matched := false
+		for _, ri := range matches[li] {
+			hit, err := tryPair(right[ri])
+			if err != nil {
 				return nil, err
 			}
+			matched = matched || hit
+		}
+		if jp.left && !matched {
+			nullExtend()
 		}
 	}
-	return f, nil
+	return out, nil
 }
 
-// joinTable cross-joins a table (or derived table) into the frame. The ON
-// condition, when present, is applied by applyJoinCondition afterwards so
-// LEFT JOIN can emit null-extended rows.
-func (ex *Executor) joinTable(f *frame, ref sqlast.TableRef, outer *env, first bool, _ any) error {
-	var cols []string
-	var rows []sqltypes.Row
-	if ref.Sub != nil {
-		rel, err := ex.execStmt(ref.Sub, outer)
-		if err != nil {
-			return err
-		}
-		cols = make([]string, len(rel.Columns))
-		for i, c := range rel.Columns {
-			// Strip qualifiers so derived-table columns bind by bare name.
-			if dot := strings.LastIndexByte(c, '.'); dot >= 0 {
-				c = c[dot+1:]
+// joinKey encodes the equi-key columns of a row into dst. A NULL in any
+// key column reports ok=false: NULL never equi-matches anything. The
+// encoding matches the = operator (sqltypes.Compare) exactly: numerics
+// compare as float64 across the INTEGER/REAL divide — including above
+// 2^53, where Compare itself conflates distinct int64s — so numerics
+// encode as normalized float64 bits, not as AppendKey's int-collapsed
+// form, keeping the hash path bit-identical to the nested-loop path.
+func joinKey(dst []byte, row sqltypes.Row, idxs []int) ([]byte, bool) {
+	for _, i := range idxs {
+		v := row[i]
+		switch {
+		case v.IsNull():
+			return dst, false
+		case v.IsNumeric():
+			f, _ := v.AsFloat()
+			if f == 0 {
+				f = 0 // collapse -0.0 onto +0.0, as Compare does
 			}
-			cols[i] = strings.ToLower(c)
-		}
-		rows = rel.Rows
-	} else {
-		rel := ex.db.Table(ref.Name)
-		if rel == nil {
-			return fmt.Errorf("sqleval: unknown table %q", ref.Name)
-		}
-		cols = make([]string, len(rel.Columns))
-		for i, c := range rel.Columns {
-			cols[i] = strings.ToLower(c)
-		}
-		rows = rel.Rows
-	}
-	name := strings.ToLower(ref.Effective())
-	meta := bindingMeta{name: name, cols: cols, width: len(cols)}
-	if first {
-		f.bindings = []bindingMeta{meta}
-		f.rows = make([]sqltypes.Row, len(rows))
-		for i, r := range rows {
-			f.rows[i] = r.Clone()
-		}
-		return nil
-	}
-	meta.offset = f.width()
-	f.bindings = append(f.bindings, meta)
-	var joined []sqltypes.Row
-	for _, lrow := range f.rows {
-		for _, rrow := range rows {
-			combined := make(sqltypes.Row, 0, len(lrow)+len(rrow))
-			combined = append(append(combined, lrow...), rrow...)
-			joined = append(joined, combined)
-		}
-	}
-	// Preserve left rows with no right partner for later LEFT JOIN fixup:
-	// handled in applyJoinCondition via the bookkeeping below.
-	f.pendingLeft = f.rows
-	f.rows = joined
-	return nil
-}
-
-func (f *frame) width() int {
-	n := 0
-	for _, b := range f.bindings {
-		n += b.width
-	}
-	return n
-}
-
-// pendingLeft holds the pre-join left rows for LEFT JOIN null extension.
-// It lives on frame to avoid threading an extra return value.
-func (ex *Executor) applyJoinCondition(f *frame, on sqlast.Expr, outer *env, left bool) error {
-	last := f.bindings[len(f.bindings)-1]
-	matched := make(map[string]bool)
-	var kept []sqltypes.Row
-	for _, row := range f.rows {
-		ok := true
-		if on != nil {
-			v, err := ex.eval(on, f.env(row, outer), nil)
-			if err != nil {
-				return err
+			bits := math.Float64bits(f)
+			dst = append(dst, 0x01,
+				byte(bits>>56), byte(bits>>48), byte(bits>>40), byte(bits>>32),
+				byte(bits>>24), byte(bits>>16), byte(bits>>8), byte(bits))
+		default:
+			s := v.Text()
+			dst = append(dst, 0x03)
+			n := uint(len(s))
+			for n >= 0x80 {
+				dst = append(dst, byte(n)|0x80)
+				n >>= 7
 			}
-			ok = v.Truthy()
-		}
-		if ok {
-			kept = append(kept, row)
-			if left {
-				matched[row[:last.offset].Key()] = true
-			}
+			dst = append(dst, byte(n))
+			dst = append(dst, s...)
 		}
 	}
-	if left {
-		for _, lrow := range f.pendingLeft {
-			if !matched[lrow.Key()] {
-				extended := make(sqltypes.Row, last.offset+last.width)
-				copy(extended, lrow)
-				kept = append(kept, extended) // trailing values are NULL
-			}
-		}
-	}
-	f.rows = kept
-	f.pendingLeft = nil
-	return nil
+	return dst, true
 }

@@ -9,126 +9,191 @@ import (
 	"cyclesql/internal/sqltypes"
 )
 
-// eval evaluates an expression in a row environment. grp is non-nil inside
-// grouped projection, giving aggregate calls access to their group's rows.
-// SQL tri-state logic is represented with NULL as the unknown truth value.
-func (ex *Executor) eval(e sqlast.Expr, env *env, grp *groupCtx) (sqltypes.Value, error) {
+// compileExpr lowers an expression into a closure evaluated against a row
+// context. Column references are resolved to frame coordinates here, once
+// per statement; the closures never touch names again. SQL tri-state logic
+// is represented with NULL as the unknown truth value, exactly as in the
+// legacy interpreter.
+func (c *compiler) compileExpr(e sqlast.Expr, sc *scope) (compiledExpr, error) {
 	switch x := e.(type) {
 	case *sqlast.Literal:
-		return x.Value, nil
+		v := x.Value
+		return func(*rowCtx) (sqltypes.Value, error) { return v, nil }, nil
 	case *sqlast.ColumnRef:
 		if x.Column == "*" {
-			return sqltypes.Value{}, fmt.Errorf("sqleval: bare * outside COUNT")
+			return nil, fmt.Errorf("sqleval: bare * outside COUNT")
 		}
-		if v, ok := env.lookup(x.Table, x.Column); ok {
-			return v, nil
+		depth, idx, ok := sc.resolve(x.Table, x.Column)
+		if !ok {
+			return nil, fmt.Errorf("sqleval: unknown column %s", sqlast.ExprSQL(x))
 		}
-		return sqltypes.Value{}, fmt.Errorf("sqleval: unknown column %s", sqlast.ExprSQL(x))
+		return columnAt(depth, idx), nil
 	case *sqlast.Unary:
-		v, err := ex.eval(x.X, env, grp)
+		fn, err := c.compileExpr(x.X, sc)
 		if err != nil {
-			return sqltypes.Value{}, err
+			return nil, err
 		}
 		if x.Op == "NOT" {
-			if v.IsNull() {
+			return func(ctx *rowCtx) (sqltypes.Value, error) {
+				v, err := fn(ctx)
+				if err != nil || v.IsNull() {
+					return sqltypes.Null(), err
+				}
+				return sqltypes.NewBool(!v.Truthy()), nil
+			}, nil
+		}
+		return func(ctx *rowCtx) (sqltypes.Value, error) {
+			v, err := fn(ctx)
+			if err != nil {
+				return sqltypes.Value{}, err
+			}
+			f, ok := v.AsFloat()
+			if !ok {
 				return sqltypes.Null(), nil
 			}
-			return sqltypes.NewBool(!v.Truthy()), nil
-		}
-		f, ok := v.AsFloat()
-		if !ok {
-			return sqltypes.Null(), nil
-		}
-		if v.Kind() == sqltypes.KindInt {
-			return sqltypes.NewInt(-v.Int()), nil
-		}
-		return sqltypes.NewFloat(-f), nil
+			if v.Kind() == sqltypes.KindInt {
+				return sqltypes.NewInt(-v.Int()), nil
+			}
+			return sqltypes.NewFloat(-f), nil
+		}, nil
 	case *sqlast.Binary:
-		return ex.evalBinary(x, env, grp)
+		return c.compileBinary(x, sc)
 	case *sqlast.FuncCall:
-		return ex.evalFunc(x, env, grp)
+		return c.compileFunc(x, sc)
 	case *sqlast.InExpr:
-		return ex.evalIn(x, env, grp)
+		return c.compileIn(x, sc)
 	case *sqlast.LikeExpr:
-		v, err := ex.eval(x.X, env, grp)
+		xfn, err := c.compileExpr(x.X, sc)
 		if err != nil {
-			return sqltypes.Value{}, err
+			return nil, err
 		}
-		p, err := ex.eval(x.Pattern, env, grp)
+		pfn, err := c.compileExpr(x.Pattern, sc)
 		if err != nil {
-			return sqltypes.Value{}, err
+			return nil, err
 		}
-		if v.IsNull() || p.IsNull() {
-			return sqltypes.Null(), nil
-		}
-		m := likeMatch(strings.ToLower(v.String()), strings.ToLower(p.String()))
-		return sqltypes.NewBool(m != x.Not), nil
+		not := x.Not
+		return func(ctx *rowCtx) (sqltypes.Value, error) {
+			v, err := xfn(ctx)
+			if err != nil {
+				return sqltypes.Value{}, err
+			}
+			p, err := pfn(ctx)
+			if err != nil {
+				return sqltypes.Value{}, err
+			}
+			if v.IsNull() || p.IsNull() {
+				return sqltypes.Null(), nil
+			}
+			m := likeMatch(strings.ToLower(v.String()), strings.ToLower(p.String()))
+			return sqltypes.NewBool(m != not), nil
+		}, nil
 	case *sqlast.BetweenExpr:
-		v, err := ex.eval(x.X, env, grp)
+		xfn, err := c.compileExpr(x.X, sc)
 		if err != nil {
-			return sqltypes.Value{}, err
+			return nil, err
 		}
-		lo, err := ex.eval(x.Lo, env, grp)
+		lofn, err := c.compileExpr(x.Lo, sc)
 		if err != nil {
-			return sqltypes.Value{}, err
+			return nil, err
 		}
-		hi, err := ex.eval(x.Hi, env, grp)
+		hifn, err := c.compileExpr(x.Hi, sc)
 		if err != nil {
-			return sqltypes.Value{}, err
+			return nil, err
 		}
-		if v.IsNull() || lo.IsNull() || hi.IsNull() {
-			return sqltypes.Null(), nil
-		}
-		in := sqltypes.Compare(v, lo) >= 0 && sqltypes.Compare(v, hi) <= 0
-		return sqltypes.NewBool(in != x.Not), nil
+		not := x.Not
+		return func(ctx *rowCtx) (sqltypes.Value, error) {
+			v, err := xfn(ctx)
+			if err != nil {
+				return sqltypes.Value{}, err
+			}
+			lo, err := lofn(ctx)
+			if err != nil {
+				return sqltypes.Value{}, err
+			}
+			hi, err := hifn(ctx)
+			if err != nil {
+				return sqltypes.Value{}, err
+			}
+			if v.IsNull() || lo.IsNull() || hi.IsNull() {
+				return sqltypes.Null(), nil
+			}
+			in := sqltypes.Compare(v, lo) >= 0 && sqltypes.Compare(v, hi) <= 0
+			return sqltypes.NewBool(in != not), nil
+		}, nil
 	case *sqlast.IsNullExpr:
-		v, err := ex.eval(x.X, env, grp)
+		fn, err := c.compileExpr(x.X, sc)
 		if err != nil {
-			return sqltypes.Value{}, err
+			return nil, err
 		}
-		return sqltypes.NewBool(v.IsNull() != x.Not), nil
+		not := x.Not
+		return func(ctx *rowCtx) (sqltypes.Value, error) {
+			v, err := fn(ctx)
+			if err != nil {
+				return sqltypes.Value{}, err
+			}
+			return sqltypes.NewBool(v.IsNull() != not), nil
+		}, nil
 	case *sqlast.ExistsExpr:
-		rel, err := ex.execStmt(x.Sub, env)
+		sub, err := c.compileStmt(x.Sub, sc)
 		if err != nil {
-			return sqltypes.Value{}, err
+			return nil, err
 		}
-		return sqltypes.NewBool((rel.NumRows() > 0) != x.Not), nil
+		ex, not := c.ex, x.Not
+		return func(ctx *rowCtx) (sqltypes.Value, error) {
+			rel, err := ex.runProgram(sub, ctx)
+			if err != nil {
+				return sqltypes.Value{}, err
+			}
+			return sqltypes.NewBool((rel.NumRows() > 0) != not), nil
+		}, nil
 	case *sqlast.SubqueryExpr:
-		rel, err := ex.execStmt(x.Sub, env)
+		sub, err := c.compileStmt(x.Sub, sc)
 		if err != nil {
-			return sqltypes.Value{}, err
+			return nil, err
 		}
-		if rel.NumRows() == 0 || rel.NumCols() == 0 {
-			return sqltypes.Null(), nil
-		}
-		return rel.Rows[0][0], nil
+		ex := c.ex
+		return func(ctx *rowCtx) (sqltypes.Value, error) {
+			rel, err := ex.runProgram(sub, ctx)
+			if err != nil {
+				return sqltypes.Value{}, err
+			}
+			if rel.NumRows() == 0 || rel.NumCols() == 0 {
+				return sqltypes.Null(), nil
+			}
+			return rel.Rows[0][0], nil
+		}, nil
 	case nil:
-		return sqltypes.Value{}, fmt.Errorf("sqleval: nil expression")
+		return nil, fmt.Errorf("sqleval: nil expression")
 	default:
-		return sqltypes.Value{}, fmt.Errorf("sqleval: unsupported expression %T", e)
+		return nil, fmt.Errorf("sqleval: unsupported expression %T", e)
 	}
 }
 
-func (ex *Executor) evalBinary(x *sqlast.Binary, env *env, grp *groupCtx) (sqltypes.Value, error) {
+func (c *compiler) compileBinary(x *sqlast.Binary, sc *scope) (compiledExpr, error) {
+	lfn, err := c.compileExpr(x.L, sc)
+	if err != nil {
+		return nil, err
+	}
+	rfn, err := c.compileExpr(x.R, sc)
+	if err != nil {
+		return nil, err
+	}
 	switch x.Op {
-	case "AND", "OR":
-		l, err := ex.eval(x.L, env, grp)
-		if err != nil {
-			return sqltypes.Value{}, err
-		}
+	case "AND":
 		// Kleene three-valued logic with short-circuiting on the
 		// determining value.
-		if x.Op == "AND" && !l.IsNull() && !l.Truthy() {
-			return sqltypes.NewBool(false), nil
-		}
-		if x.Op == "OR" && l.Truthy() {
-			return sqltypes.NewBool(true), nil
-		}
-		r, err := ex.eval(x.R, env, grp)
-		if err != nil {
-			return sqltypes.Value{}, err
-		}
-		if x.Op == "AND" {
+		return func(ctx *rowCtx) (sqltypes.Value, error) {
+			l, err := lfn(ctx)
+			if err != nil {
+				return sqltypes.Value{}, err
+			}
+			if !l.IsNull() && !l.Truthy() {
+				return sqltypes.NewBool(false), nil
+			}
+			r, err := rfn(ctx)
+			if err != nil {
+				return sqltypes.Value{}, err
+			}
 			if !r.IsNull() && !r.Truthy() {
 				return sqltypes.NewBool(false), nil
 			}
@@ -136,49 +201,73 @@ func (ex *Executor) evalBinary(x *sqlast.Binary, env *env, grp *groupCtx) (sqlty
 				return sqltypes.Null(), nil
 			}
 			return sqltypes.NewBool(true), nil
-		}
-		if r.Truthy() {
-			return sqltypes.NewBool(true), nil
-		}
-		if l.IsNull() || r.IsNull() {
-			return sqltypes.Null(), nil
-		}
-		return sqltypes.NewBool(false), nil
-	}
-	l, err := ex.eval(x.L, env, grp)
-	if err != nil {
-		return sqltypes.Value{}, err
-	}
-	r, err := ex.eval(x.R, env, grp)
-	if err != nil {
-		return sqltypes.Value{}, err
-	}
-	switch x.Op {
+		}, nil
+	case "OR":
+		return func(ctx *rowCtx) (sqltypes.Value, error) {
+			l, err := lfn(ctx)
+			if err != nil {
+				return sqltypes.Value{}, err
+			}
+			if l.Truthy() {
+				return sqltypes.NewBool(true), nil
+			}
+			r, err := rfn(ctx)
+			if err != nil {
+				return sqltypes.Value{}, err
+			}
+			if r.Truthy() {
+				return sqltypes.NewBool(true), nil
+			}
+			if l.IsNull() || r.IsNull() {
+				return sqltypes.Null(), nil
+			}
+			return sqltypes.NewBool(false), nil
+		}, nil
 	case "=", "!=", "<>", "<", "<=", ">", ">=":
-		if l.IsNull() || r.IsNull() {
-			return sqltypes.Null(), nil
-		}
-		c := sqltypes.Compare(l, r)
-		var b bool
+		var test func(int) bool
 		switch x.Op {
 		case "=":
-			b = c == 0
+			test = func(c int) bool { return c == 0 }
 		case "!=", "<>":
-			b = c != 0
+			test = func(c int) bool { return c != 0 }
 		case "<":
-			b = c < 0
+			test = func(c int) bool { return c < 0 }
 		case "<=":
-			b = c <= 0
+			test = func(c int) bool { return c <= 0 }
 		case ">":
-			b = c > 0
-		case ">=":
-			b = c >= 0
+			test = func(c int) bool { return c > 0 }
+		default:
+			test = func(c int) bool { return c >= 0 }
 		}
-		return sqltypes.NewBool(b), nil
+		return func(ctx *rowCtx) (sqltypes.Value, error) {
+			l, err := lfn(ctx)
+			if err != nil {
+				return sqltypes.Value{}, err
+			}
+			r, err := rfn(ctx)
+			if err != nil {
+				return sqltypes.Value{}, err
+			}
+			if l.IsNull() || r.IsNull() {
+				return sqltypes.Null(), nil
+			}
+			return sqltypes.NewBool(test(sqltypes.Compare(l, r))), nil
+		}, nil
 	case "+", "-", "*", "/", "%":
-		return arith(x.Op, l, r), nil
+		op := x.Op
+		return func(ctx *rowCtx) (sqltypes.Value, error) {
+			l, err := lfn(ctx)
+			if err != nil {
+				return sqltypes.Value{}, err
+			}
+			r, err := rfn(ctx)
+			if err != nil {
+				return sqltypes.Value{}, err
+			}
+			return arith(op, l, r), nil
+		}, nil
 	default:
-		return sqltypes.Value{}, fmt.Errorf("sqleval: unknown operator %q", x.Op)
+		return nil, fmt.Errorf("sqleval: unknown operator %q", x.Op)
 	}
 }
 
@@ -228,119 +317,176 @@ func arith(op string, l, r sqltypes.Value) sqltypes.Value {
 	return sqltypes.Null()
 }
 
-func (ex *Executor) evalIn(x *sqlast.InExpr, env *env, grp *groupCtx) (sqltypes.Value, error) {
-	v, err := ex.eval(x.X, env, grp)
+func (c *compiler) compileIn(x *sqlast.InExpr, sc *scope) (compiledExpr, error) {
+	xfn, err := c.compileExpr(x.X, sc)
 	if err != nil {
-		return sqltypes.Value{}, err
+		return nil, err
 	}
-	var members []sqltypes.Value
-	if x.Sub != nil {
-		rel, err := ex.execStmt(x.Sub, env)
-		if err != nil {
-			return sqltypes.Value{}, err
+	not := x.Not
+	membership := func(v sqltypes.Value, members []sqltypes.Value) sqltypes.Value {
+		if v.IsNull() {
+			return sqltypes.Null()
 		}
-		for _, row := range rel.Rows {
-			if len(row) > 0 {
-				members = append(members, row[0])
+		found := false
+		sawNull := false
+		for _, m := range members {
+			if m.IsNull() {
+				sawNull = true
+				continue
+			}
+			if sqltypes.Compare(v, m) == 0 {
+				found = true
+				break
 			}
 		}
-	} else {
-		for _, le := range x.List {
-			m, err := ex.eval(le, env, grp)
+		if !found && sawNull {
+			return sqltypes.Null()
+		}
+		return sqltypes.NewBool(found != not)
+	}
+	if x.Sub != nil {
+		sub, err := c.compileStmt(x.Sub, sc)
+		if err != nil {
+			return nil, err
+		}
+		ex := c.ex
+		return func(ctx *rowCtx) (sqltypes.Value, error) {
+			v, err := xfn(ctx)
 			if err != nil {
 				return sqltypes.Value{}, err
 			}
-			members = append(members, m)
+			rel, err := ex.runProgram(sub, ctx)
+			if err != nil {
+				return sqltypes.Value{}, err
+			}
+			var members []sqltypes.Value
+			for _, row := range rel.Rows {
+				if len(row) > 0 {
+					members = append(members, row[0])
+				}
+			}
+			return membership(v, members), nil
+		}, nil
+	}
+	var memberFns []compiledExpr
+	for _, le := range x.List {
+		fn, err := c.compileExpr(le, sc)
+		if err != nil {
+			return nil, err
 		}
+		memberFns = append(memberFns, fn)
 	}
-	if v.IsNull() {
-		return sqltypes.Null(), nil
-	}
-	found := false
-	sawNull := false
-	for _, m := range members {
-		if m.IsNull() {
-			sawNull = true
-			continue
+	return func(ctx *rowCtx) (sqltypes.Value, error) {
+		v, err := xfn(ctx)
+		if err != nil {
+			return sqltypes.Value{}, err
 		}
-		if sqltypes.Compare(v, m) == 0 {
-			found = true
-			break
+		members := make([]sqltypes.Value, len(memberFns))
+		for i, fn := range memberFns {
+			if members[i], err = fn(ctx); err != nil {
+				return sqltypes.Value{}, err
+			}
 		}
-	}
-	if !found && sawNull {
-		return sqltypes.Null(), nil
-	}
-	return sqltypes.NewBool(found != x.Not), nil
+		return membership(v, members), nil
+	}, nil
 }
 
-func (ex *Executor) evalFunc(x *sqlast.FuncCall, env *env, grp *groupCtx) (sqltypes.Value, error) {
+func (c *compiler) compileFunc(x *sqlast.FuncCall, sc *scope) (compiledExpr, error) {
 	if x.IsAggregate() {
-		if grp == nil {
-			return sqltypes.Value{}, fmt.Errorf("sqleval: aggregate %s outside grouped context", x.Name)
-		}
-		return ex.evalAggregate(x, grp)
+		return c.compileAggregate(x, sc)
 	}
 	switch x.Name {
 	case "ABS":
 		if len(x.Args) != 1 {
-			return sqltypes.Value{}, fmt.Errorf("sqleval: ABS expects 1 argument")
+			return nil, fmt.Errorf("sqleval: ABS expects 1 argument")
 		}
-		v, err := ex.eval(x.Args[0], env, grp)
+		fn, err := c.compileExpr(x.Args[0], sc)
 		if err != nil {
-			return sqltypes.Value{}, err
+			return nil, err
 		}
-		if v.IsNull() {
-			return sqltypes.Null(), nil
-		}
-		if v.Kind() == sqltypes.KindInt {
-			if v.Int() < 0 {
-				return sqltypes.NewInt(-v.Int()), nil
+		return func(ctx *rowCtx) (sqltypes.Value, error) {
+			v, err := fn(ctx)
+			if err != nil {
+				return sqltypes.Value{}, err
 			}
-			return v, nil
-		}
-		f, ok := v.AsFloat()
-		if !ok {
-			return sqltypes.Null(), nil
-		}
-		return sqltypes.NewFloat(math.Abs(f)), nil
+			if v.IsNull() {
+				return sqltypes.Null(), nil
+			}
+			if v.Kind() == sqltypes.KindInt {
+				if v.Int() < 0 {
+					return sqltypes.NewInt(-v.Int()), nil
+				}
+				return v, nil
+			}
+			f, ok := v.AsFloat()
+			if !ok {
+				return sqltypes.Null(), nil
+			}
+			return sqltypes.NewFloat(math.Abs(f)), nil
+		}, nil
 	default:
-		return sqltypes.Value{}, fmt.Errorf("sqleval: unknown function %s", x.Name)
+		return nil, fmt.Errorf("sqleval: unknown function %s", x.Name)
 	}
 }
 
-func (ex *Executor) evalAggregate(x *sqlast.FuncCall, grp *groupCtx) (sqltypes.Value, error) {
-	// COUNT(*) counts rows directly.
+// compileAggregate lowers an aggregate call. The closure errors outside a
+// grouped context (ctx.grp == nil), preserving the legacy runtime check.
+func (c *compiler) compileAggregate(x *sqlast.FuncCall, sc *scope) (compiledExpr, error) {
+	name := x.Name
 	if x.Star {
-		if x.Name != "COUNT" {
-			return sqltypes.Value{}, fmt.Errorf("sqleval: %s(*) is not valid", x.Name)
+		if name != "COUNT" {
+			return nil, fmt.Errorf("sqleval: %s(*) is not valid", name)
 		}
-		return sqltypes.NewInt(int64(len(grp.rows))), nil
+		return func(ctx *rowCtx) (sqltypes.Value, error) {
+			if ctx.grp == nil {
+				return sqltypes.Value{}, fmt.Errorf("sqleval: aggregate COUNT outside grouped context")
+			}
+			return sqltypes.NewInt(int64(len(ctx.grp.rows))), nil
+		}, nil
 	}
 	if len(x.Args) != 1 {
-		return sqltypes.Value{}, fmt.Errorf("sqleval: aggregate %s expects 1 argument", x.Name)
+		return nil, fmt.Errorf("sqleval: aggregate %s expects 1 argument", name)
 	}
-	var vals []sqltypes.Value
-	seen := map[string]bool{}
-	for _, row := range grp.rows {
-		e := grp.f.env(row, grp.outer)
-		v, err := grp.ex.eval(x.Args[0], e, nil)
-		if err != nil {
-			return sqltypes.Value{}, err
+	argFn, err := c.compileExpr(x.Args[0], sc)
+	if err != nil {
+		return nil, err
+	}
+	distinct := x.Distinct
+	return func(ctx *rowCtx) (sqltypes.Value, error) {
+		if ctx.grp == nil {
+			return sqltypes.Value{}, fmt.Errorf("sqleval: aggregate %s outside grouped context", name)
 		}
-		if v.IsNull() {
-			continue
+		var vals []sqltypes.Value
+		var seen map[string]struct{}
+		var buf []byte
+		if distinct {
+			seen = make(map[string]struct{})
 		}
-		if x.Distinct {
-			k := v.Key()
-			if seen[k] {
+		sub := &rowCtx{parent: ctx.parent}
+		for _, row := range ctx.grp.rows {
+			sub.row = row
+			v, err := argFn(sub)
+			if err != nil {
+				return sqltypes.Value{}, err
+			}
+			if v.IsNull() {
 				continue
 			}
-			seen[k] = true
+			if distinct {
+				buf = v.AppendKey(buf[:0])
+				if _, dup := seen[string(buf)]; dup {
+					continue
+				}
+				seen[string(buf)] = struct{}{}
+			}
+			vals = append(vals, v)
 		}
-		vals = append(vals, v)
-	}
-	switch x.Name {
+		return foldAggregate(name, vals)
+	}, nil
+}
+
+func foldAggregate(name string, vals []sqltypes.Value) (sqltypes.Value, error) {
+	switch name {
 	case "COUNT":
 		return sqltypes.NewInt(int64(len(vals))), nil
 	case "SUM", "AVG":
@@ -359,7 +505,7 @@ func (ex *Executor) evalAggregate(x *sqlast.FuncCall, grp *groupCtx) (sqltypes.V
 			}
 			sum += f
 		}
-		if x.Name == "SUM" {
+		if name == "SUM" {
 			if allInt {
 				return sqltypes.NewInt(int64(sum)), nil
 			}
@@ -373,13 +519,13 @@ func (ex *Executor) evalAggregate(x *sqlast.FuncCall, grp *groupCtx) (sqltypes.V
 		best := vals[0]
 		for _, v := range vals[1:] {
 			c := sqltypes.Compare(v, best)
-			if (x.Name == "MIN" && c < 0) || (x.Name == "MAX" && c > 0) {
+			if (name == "MIN" && c < 0) || (name == "MAX" && c > 0) {
 				best = v
 			}
 		}
 		return best, nil
 	}
-	return sqltypes.Value{}, fmt.Errorf("sqleval: unknown aggregate %s", x.Name)
+	return sqltypes.Value{}, fmt.Errorf("sqleval: unknown aggregate %s", name)
 }
 
 // likeMatch implements SQL LIKE with % and _ wildcards (case folded by the

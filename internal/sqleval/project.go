@@ -1,11 +1,8 @@
 package sqleval
 
 import (
-	"fmt"
 	"sort"
-	"strings"
 
-	"cyclesql/internal/sqlast"
 	"cyclesql/internal/sqltypes"
 )
 
@@ -15,168 +12,62 @@ type record struct {
 	keys sqltypes.Row
 }
 
-// expandItems resolves * and t.* projection items against the frame,
-// returning output column labels and the expressions to evaluate (nil
-// expression means positional copy from the flattened row).
-type projItem struct {
-	label string
-	expr  sqlast.Expr
+func (ex *Executor) projectPlain(cc *compiledCore, rows []sqltypes.Row, outer *rowCtx) (*sqltypes.Relation, error) {
+	records := make([]record, 0, len(rows))
+	ctx := &rowCtx{parent: outer}
+	for _, row := range rows {
+		ctx.row = row
+		rec, err := projectRecord(cc, ctx)
+		if err != nil {
+			return nil, err
+		}
+		records = append(records, rec)
+	}
+	return finalize(cc, records)
 }
 
-func (ex *Executor) expandItems(core *sqlast.SelectCore, f *frame) ([]projItem, error) {
-	var items []projItem
-	for _, it := range core.Items {
-		switch {
-		case it.Star && it.TableStar == "":
-			for _, b := range f.bindings {
-				for _, c := range b.cols {
-					items = append(items, projItem{label: c, expr: &sqlast.ColumnRef{Table: b.name, Column: c}})
-				}
-			}
-		case it.Star:
-			name := strings.ToLower(it.TableStar)
-			found := false
-			for _, b := range f.bindings {
-				if b.name == name {
-					for _, c := range b.cols {
-						items = append(items, projItem{label: c, expr: &sqlast.ColumnRef{Table: b.name, Column: c}})
-					}
-					found = true
-				}
-			}
-			if !found {
-				return nil, fmt.Errorf("sqleval: unknown table %q in %s.*", it.TableStar, it.TableStar)
-			}
-		default:
-			label := it.Alias
-			if label == "" {
-				label = sqlast.ExprSQL(it.Expr)
-			}
-			items = append(items, projItem{label: label, expr: it.Expr})
-		}
-	}
-	return items, nil
-}
-
-// orderKeyExpr resolves an ORDER BY expression: positional references
-// (ORDER BY 2) and alias references resolve to the projected item; other
-// expressions evaluate in the row environment.
-func orderKeyExpr(o sqlast.OrderItem, items []projItem, coreItems []sqlast.SelectItem) (projIdx int, expr sqlast.Expr) {
-	if lit, ok := o.Expr.(*sqlast.Literal); ok && lit.Value.Kind() == sqltypes.KindInt {
-		idx := int(lit.Value.Int()) - 1
-		if idx >= 0 && idx < len(items) {
-			return idx, nil
-		}
-	}
-	if cr, ok := o.Expr.(*sqlast.ColumnRef); ok && cr.Table == "" {
-		for i, it := range coreItems {
-			if it.Alias != "" && strings.EqualFold(it.Alias, cr.Column) {
-				return i, nil
-			}
-		}
-	}
-	// Expression identical to a projection item reuses its computed value,
-	// which also lets grouped ORDER BY count(*) hit the aggregate result.
-	oSQL := sqlast.ExprSQL(o.Expr)
-	for i, it := range items {
-		if it.expr != nil && strings.EqualFold(sqlast.ExprSQL(it.expr), oSQL) {
-			return i, nil
-		}
-	}
-	return -1, o.Expr
-}
-
-func (ex *Executor) projectPlain(core *sqlast.SelectCore, f *frame, outer *env) (*sqltypes.Relation, error) {
-	items, err := ex.expandItems(core, f)
-	if err != nil {
-		return nil, err
-	}
-	records := make([]record, 0, len(f.rows))
-	for _, row := range f.rows {
-		e := f.env(row, outer)
-		proj := make(sqltypes.Row, len(items))
-		for i, it := range items {
-			v, err := ex.eval(it.expr, e, nil)
-			if err != nil {
-				return nil, err
-			}
-			proj[i] = v
-		}
-		keys := make(sqltypes.Row, len(core.OrderBy))
-		for i, o := range core.OrderBy {
-			idx, kexpr := orderKeyExpr(o, items, core.Items)
-			if kexpr == nil {
-				keys[i] = proj[idx]
-				continue
-			}
-			v, err := ex.eval(kexpr, e, nil)
-			if err != nil {
-				return nil, err
-			}
-			keys[i] = v
-		}
-		records = append(records, record{proj: proj, keys: keys})
-	}
-	return finalize(core, items, records)
-}
-
-// groupCtx gives aggregate evaluation access to the rows of one group.
-type groupCtx struct {
-	ex    *Executor
-	f     *frame
-	rows  []sqltypes.Row
-	outer *env
-}
-
-func (g *groupCtx) firstEnv() *env {
-	if len(g.rows) == 0 {
-		// Empty input with aggregates: a single all-NULL pseudo row.
-		return g.f.env(make(sqltypes.Row, g.f.width()), g.outer)
-	}
-	return g.f.env(g.rows[0], g.outer)
-}
-
-func (ex *Executor) projectGrouped(core *sqlast.SelectCore, f *frame, outer *env) (*sqltypes.Relation, error) {
-	items, err := ex.expandItems(core, f)
-	if err != nil {
-		return nil, err
-	}
-	// Partition rows into groups.
-	type group struct{ rows []sqltypes.Row }
-	var order []string
-	groups := map[string]*group{}
-	if len(core.GroupBy) == 0 {
-		groups[""] = &group{rows: f.rows}
-		order = append(order, "")
+func (ex *Executor) projectGrouped(cc *compiledCore, rows []sqltypes.Row, outer *rowCtx) (*sqltypes.Relation, error) {
+	// Partition rows into groups, keyed by the binary encoding of the
+	// GROUP BY values; insertion order is preserved.
+	var groups []groupRows
+	if len(cc.groupBy) == 0 {
+		groups = []groupRows{{rows: rows}}
 	} else {
-		for _, row := range f.rows {
-			e := f.env(row, outer)
-			var kb strings.Builder
-			for _, gexpr := range core.GroupBy {
-				v, err := ex.eval(gexpr, e, nil)
+		idx := make(map[string]int)
+		ctx := &rowCtx{parent: outer}
+		var buf []byte
+		for _, row := range rows {
+			ctx.row = row
+			buf = buf[:0]
+			for _, fn := range cc.groupBy {
+				v, err := fn(ctx)
 				if err != nil {
 					return nil, err
 				}
-				kb.WriteString(v.Key())
-				kb.WriteByte('\x01')
+				buf = v.AppendKey(buf)
 			}
-			k := kb.String()
-			g, ok := groups[k]
+			gi, ok := idx[string(buf)]
 			if !ok {
-				g = &group{}
-				groups[k] = g
-				order = append(order, k)
+				gi = len(groups)
+				idx[string(buf)] = gi
+				groups = append(groups, groupRows{})
 			}
-			g.rows = append(g.rows, row)
+			groups[gi].rows = append(groups[gi].rows, row)
 		}
 	}
-	records := make([]record, 0, len(order))
-	for _, k := range order {
-		g := groups[k]
-		gctx := &groupCtx{ex: ex, f: f, rows: g.rows, outer: outer}
-		e := gctx.firstEnv()
-		if core.Having != nil {
-			v, err := ex.eval(core.Having, e, gctx)
+	records := make([]record, 0, len(groups))
+	ctx := &rowCtx{parent: outer}
+	for gi := range groups {
+		g := &groups[gi]
+		if len(g.rows) == 0 {
+			// Empty input with aggregates: a single all-NULL pseudo row.
+			ctx.row = make(sqltypes.Row, cc.width)
+		} else {
+			ctx.row = g.rows[0]
+		}
+		ctx.grp = g
+		if cc.having != nil {
+			v, err := cc.having(ctx)
 			if err != nil {
 				return nil, err
 			}
@@ -184,55 +75,69 @@ func (ex *Executor) projectGrouped(core *sqlast.SelectCore, f *frame, outer *env
 				continue
 			}
 		}
-		proj := make(sqltypes.Row, len(items))
-		for i, it := range items {
-			v, err := ex.eval(it.expr, e, gctx)
-			if err != nil {
-				return nil, err
-			}
-			proj[i] = v
+		rec, err := projectRecord(cc, ctx)
+		if err != nil {
+			return nil, err
 		}
-		keys := make(sqltypes.Row, len(core.OrderBy))
-		for i, o := range core.OrderBy {
-			idx, kexpr := orderKeyExpr(o, items, core.Items)
-			if kexpr == nil {
-				keys[i] = proj[idx]
+		records = append(records, rec)
+	}
+	return finalize(cc, records)
+}
+
+// projectRecord evaluates the projection items and ORDER BY keys for one
+// row (or group) context.
+func projectRecord(cc *compiledCore, ctx *rowCtx) (record, error) {
+	proj := make(sqltypes.Row, len(cc.items))
+	for i, it := range cc.items {
+		v, err := it.fn(ctx)
+		if err != nil {
+			return record{}, err
+		}
+		proj[i] = v
+	}
+	var keys sqltypes.Row
+	if len(cc.orderKeys) > 0 {
+		keys = make(sqltypes.Row, len(cc.orderKeys))
+		for i, ok := range cc.orderKeys {
+			if ok.projIdx >= 0 {
+				keys[i] = proj[ok.projIdx]
 				continue
 			}
-			v, err := ex.eval(kexpr, e, gctx)
+			v, err := ok.fn(ctx)
 			if err != nil {
-				return nil, err
+				return record{}, err
 			}
 			keys[i] = v
 		}
-		records = append(records, record{proj: proj, keys: keys})
 	}
-	return finalize(core, items, records)
+	return record{proj: proj, keys: keys}, nil
 }
 
 // finalize applies DISTINCT, ORDER BY, LIMIT/OFFSET and materializes the
 // output relation.
-func finalize(core *sqlast.SelectCore, items []projItem, records []record) (*sqltypes.Relation, error) {
+func finalize(cc *compiledCore, records []record) (*sqltypes.Relation, error) {
+	core := cc.core
 	if core.Distinct {
-		seen := map[string]bool{}
+		seen := make(map[string]struct{}, len(records))
 		kept := records[:0:0]
+		var buf []byte
 		for _, r := range records {
-			k := r.proj.Key()
-			if !seen[k] {
-				seen[k] = true
+			buf = r.proj.AppendKey(buf[:0])
+			if _, dup := seen[string(buf)]; !dup {
+				seen[string(buf)] = struct{}{}
 				kept = append(kept, r)
 			}
 		}
 		records = kept
 	}
-	if len(core.OrderBy) > 0 {
+	if len(cc.orderKeys) > 0 {
 		sort.SliceStable(records, func(i, j int) bool {
-			for k, o := range core.OrderBy {
+			for k, o := range cc.orderKeys {
 				c := sqltypes.Compare(records[i].keys[k], records[j].keys[k])
 				if c == 0 {
 					continue
 				}
-				if o.Desc {
+				if o.desc {
 					return c > 0
 				}
 				return c < 0
@@ -253,13 +158,10 @@ func finalize(core *sqlast.SelectCore, items []projItem, records []record) (*sql
 		}
 	}
 	records = records[start:end]
-	cols := make([]string, len(items))
-	for i, it := range items {
-		cols[i] = it.label
-	}
-	out := sqltypes.NewRelation(cols...)
-	for _, r := range records {
-		out.Append(r.proj)
+	out := sqltypes.NewRelation(cc.labels()...)
+	out.Rows = make([]sqltypes.Row, len(records))
+	for i, r := range records {
+		out.Rows[i] = r.proj
 	}
 	return out, nil
 }

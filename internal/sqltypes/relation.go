@@ -26,6 +26,16 @@ func (r Row) Key() string {
 	return b.String()
 }
 
+// AppendKey appends the binary encoding of every value in the row to dst.
+// It is the allocation-free counterpart of Key(): reuse one scratch buffer
+// across rows and probe maps with string(buf).
+func (r Row) AppendKey(dst []byte) []byte {
+	for _, v := range r {
+		dst = v.AppendKey(dst)
+	}
+	return dst
+}
+
 // Relation is a materialized query result or intermediate table: an ordered
 // list of column names plus rows.
 type Relation struct {
@@ -108,15 +118,18 @@ func BagEqual(a, b *Relation) bool {
 		return false
 	}
 	counts := make(map[string]int, len(a.Rows))
+	var buf []byte
 	for _, row := range a.Rows {
-		counts[row.Key()]++
+		buf = row.AppendKey(buf[:0])
+		counts[string(buf)]++
 	}
 	for _, row := range b.Rows {
-		k := row.Key()
-		counts[k]--
-		if counts[k] < 0 {
+		buf = row.AppendKey(buf[:0])
+		k := counts[string(buf)] - 1
+		if k < 0 {
 			return false
 		}
+		counts[string(buf)] = k
 	}
 	return true
 }

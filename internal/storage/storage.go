@@ -31,7 +31,9 @@ func NewDatabase(s *schema.Schema) *Database {
 }
 
 // Table returns the stored relation for a table name, or nil if the table
-// does not exist. The returned relation is live: callers must not mutate it.
+// does not exist. The returned relation is live and stable across inserts
+// (rows append in place), so the SQL compiler binds it directly into
+// compiled plans; callers must not mutate it.
 func (db *Database) Table(name string) *sqltypes.Relation {
 	return db.tables[strings.ToLower(name)]
 }
