@@ -1,0 +1,29 @@
+package core
+
+// boundedCache is the small per-database cache the pipeline and the
+// data-grounded feedback share for executors and explainers. At the limit
+// it evicts one arbitrary entry instead of clearing, so a workload that
+// interleaves more databases than the limit (the experiment drivers sweep
+// dev examples across many databases) degrades gracefully rather than
+// losing every warm entry at once.
+type boundedCache[K comparable, V any] struct {
+	limit int
+	m     map[K]V
+}
+
+func (c *boundedCache[K, V]) get(k K) (V, bool) {
+	v, ok := c.m[k]
+	return v, ok
+}
+
+func (c *boundedCache[K, V]) put(k K, v V) {
+	if c.m == nil {
+		c.m = make(map[K]V, c.limit)
+	} else if len(c.m) >= c.limit {
+		for evict := range c.m {
+			delete(c.m, evict)
+			break
+		}
+	}
+	c.m[k] = v
+}

@@ -38,21 +38,26 @@ type DataGrounded struct {
 	// raw mechanical text either way (the paper polishes only for users).
 	Polish explain.Polisher
 	// shared, when non-nil, keeps one explainer per database alive across
-	// candidates so provenance queries reuse compiled statements. The zero
-	// value stays stateless (a fresh explainer per call).
+	// candidates — and across Translate calls that interleave databases,
+	// as the experiment drivers do — so provenance queries reuse compiled
+	// statements. The zero value stays stateless (a fresh explainer per
+	// call).
 	shared *explainerCache
 }
 
-// explainerCache holds the per-database explainer DataGrounded reuses.
-type explainerCache struct {
-	db *storage.Database
-	e  *explain.Explainer
-}
+// explainerCache holds the per-database explainers DataGrounded reuses,
+// bounded because test-suite distillation can sweep many short-lived
+// database clones through one feedback.
+type explainerCache = boundedCache[*storage.Database, *explain.Explainer]
+
+// maxCachedPerDB bounds the pipeline's per-database executor and explainer
+// caches.
+const maxCachedPerDB = 8
 
 // NewDataGrounded returns a DataGrounded feedback that reuses one explainer
 // (and its compiled provenance statements) per database across candidates.
 func NewDataGrounded() DataGrounded {
-	return DataGrounded{shared: &explainerCache{}}
+	return DataGrounded{shared: &explainerCache{limit: maxCachedPerDB}}
 }
 
 // Name implements Feedback.
@@ -64,12 +69,13 @@ func (d DataGrounded) explainer(db *storage.Database) *explain.Explainer {
 		e.Polish = d.Polish
 		return e
 	}
-	if d.shared.db != db {
-		d.shared.db = db
-		d.shared.e = explain.New(db)
+	e, ok := d.shared.get(db)
+	if !ok {
+		e = explain.New(db)
+		d.shared.put(db, e)
 	}
-	d.shared.e.Polish = d.Polish
-	return d.shared.e
+	e.Polish = d.Polish
+	return e
 }
 
 // Premise implements Feedback.
@@ -111,6 +117,29 @@ type Pipeline struct {
 	Feedback  Feedback
 	BeamSize  int
 	Benchmark string
+
+	// execs, when non-nil, keeps one executor per database alive across
+	// Translate calls. Beam candidates are fresh ASTs per call, but their
+	// SQL text recurs across beams, and the executor's plan cache is keyed
+	// by canonical SQL — so a persistent executor skips recompiling them
+	// even when the caller interleaves examples from different databases.
+	// The zero value stays stateless (a fresh executor per Translate).
+	execs *executorCache
+}
+
+// executorCache holds the per-database executors the pipeline reuses.
+type executorCache = boundedCache[*storage.Database, *sqleval.Executor]
+
+func (p *Pipeline) executor(db *storage.Database) *sqleval.Executor {
+	if p.execs == nil {
+		return sqleval.New(db)
+	}
+	if ex, ok := p.execs.get(db); ok {
+		return ex
+	}
+	ex := sqleval.New(db)
+	p.execs.put(db, ex)
+	return ex
 }
 
 // NewPipeline returns a pipeline with the paper's inference settings:
@@ -123,6 +152,7 @@ func NewPipeline(model nl2sql.Model, verifier nli.Verifier, benchmark string) *P
 		Feedback:  NewDataGrounded(),
 		BeamSize:  8,
 		Benchmark: benchmark,
+		execs:     &executorCache{limit: maxCachedPerDB},
 	}
 }
 
@@ -146,10 +176,11 @@ func (p *Pipeline) Translate(ex datasets.Example, db *storage.Database) (*Result
 	res := &Result{Candidates: candidates}
 	start := time.Now()
 	defer func() { res.Overhead = time.Since(start) }()
-	// One executor serves every candidate; beam candidates are fresh ASTs
-	// per Translate call, so plan reuse across calls happens one layer
-	// down, in the feedback's explainer/tracker (see DataGrounded).
-	executor := sqleval.New(db)
+	// One executor serves every candidate — and, when the pipeline came
+	// from NewPipeline, persists across Translate calls so textually
+	// recurring candidates reuse compiled plans (the cache is keyed by
+	// canonical SQL, not AST identity).
+	executor := p.executor(db)
 	for i, cand := range candidates {
 		res.Iterations = i + 1
 		rel, err := executor.Exec(cand.Stmt)

@@ -47,7 +47,12 @@ type Explainer struct {
 	Polish Polisher // optional
 
 	// tracker persists across Explain calls so repeated explanations
-	// against the same database reuse compiled provenance statements.
+	// against the same database reuse compiled provenance statements —
+	// its rewrite cache keys on rendered core SQL and its executor's plan
+	// cache on canonical SQL, so textually identical candidates share
+	// work even when every beam hands over a fresh AST. Callers that
+	// alternate databases cache whole explainers instead (see
+	// core.DataGrounded).
 	tracker     *provenance.Tracker
 	currentProv *provenance.Provenance
 }

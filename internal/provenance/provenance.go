@@ -54,20 +54,27 @@ const RowLimit = 64
 // Tracker computes provenance against one database. It keeps one executor
 // alive across Track calls — so every provenance query benefits from the
 // executor's compiled-plan cache — and memoizes the rewritten statement per
-// (core, to-explain tuple), so re-tracking the same result (the CycleSQL
-// loop explains candidates repeatedly during training and experiments)
-// reuses the compiled statement instead of rebuilding and recompiling it.
-// A Tracker is not safe for concurrent use.
+// (core SQL, to-explain tuple), so re-tracking the same result (the
+// CycleSQL loop explains candidates repeatedly during training and
+// experiments), including through a textually identical core arriving as a
+// distinct AST from another beam, reuses the compiled statement instead of
+// rebuilding and recompiling it. A Tracker is not safe for concurrent use.
 type Tracker struct {
 	db       *storage.Database
 	ex       *sqleval.Executor
 	rewrites map[rewriteKey]*sqlast.SelectStmt
+	// coreSQL memoizes the rendered SQL per core AST, so the common case —
+	// re-tracking the same candidate object — skips the O(core) render
+	// and goes straight to the rewrite lookup.
+	coreSQL map[*sqlast.SelectCore]string
 }
 
-// rewriteKey identifies a provenance rewrite: the core plus the binary
-// encoding of the to-explain tuple (the only inputs Rule 1 pins vary on).
+// rewriteKey identifies a provenance rewrite: the rendered SQL of the core
+// (deterministic, so textually identical cores share an entry regardless
+// of AST identity) plus the binary encoding of the to-explain tuple — the
+// only inputs the rewriting rules vary on.
 type rewriteKey struct {
-	core *sqlast.SelectCore
+	core string
 	row  string
 }
 
@@ -97,7 +104,7 @@ func (t *Tracker) Track(stmt *sqlast.SelectStmt, result *sqltypes.Relation, rowI
 	}
 	p.Result = result.Rows[rowIdx]
 	for _, core := range stmt.Cores {
-		rw := t.rewrite(core, result.Columns, p.Result)
+		rw := t.rewrite(core, p.Result)
 		rel, err := t.ex.Exec(rw)
 		if err != nil {
 			// A rewrite that fails to execute (for example a Rule 1
@@ -114,12 +121,26 @@ func (t *Tracker) Track(stmt *sqlast.SelectStmt, result *sqltypes.Relation, rowI
 	return p, nil
 }
 
-func (t *Tracker) rewrite(core *sqlast.SelectCore, resultCols []string, result sqltypes.Row) *sqlast.SelectStmt {
-	k := rewriteKey{core: core, row: string(result.AppendKey(nil))}
+func (t *Tracker) coreKey(core *sqlast.SelectCore) string {
+	if s, ok := t.coreSQL[core]; ok {
+		return s
+	}
+	s := core.SQL()
+	if t.coreSQL == nil {
+		t.coreSQL = make(map[*sqlast.SelectCore]string)
+	} else if len(t.coreSQL) >= maxCachedRewrites {
+		clear(t.coreSQL)
+	}
+	t.coreSQL[core] = s
+	return s
+}
+
+func (t *Tracker) rewrite(core *sqlast.SelectCore, result sqltypes.Row) *sqlast.SelectStmt {
+	k := rewriteKey{core: t.coreKey(core), row: string(result.AppendKey(nil))}
 	if rw, ok := t.rewrites[k]; ok {
 		return rw
 	}
-	rw := RewriteCore(t.db, core, resultCols, result)
+	rw := RewriteCore(t.db, core, result)
 	if t.rewrites == nil {
 		t.rewrites = make(map[rewriteKey]*sqlast.SelectStmt)
 	} else if len(t.rewrites) >= maxCachedRewrites {
@@ -138,7 +159,7 @@ func Track(db *storage.Database, stmt *sqlast.SelectStmt, result *sqltypes.Relat
 
 // RewriteCore applies the three rewriting rules to a single SELECT core,
 // producing the provenance query. It never mutates core.
-func RewriteCore(db *storage.Database, core *sqlast.SelectCore, resultCols []string, result sqltypes.Row) *sqlast.SelectStmt {
+func RewriteCore(db *storage.Database, core *sqlast.SelectCore, result sqltypes.Row) *sqlast.SelectStmt {
 	rw := core.Clone()
 
 	// Rule 1: pin the query to the to-explain tuple. Only plain column

@@ -21,6 +21,15 @@ func (s *SelectStmt) SQL() string {
 	return b.String()
 }
 
+// SQL renders a single SELECT core. Like SelectStmt.SQL, the rendering is
+// deterministic, so it doubles as a memoization key for per-core caches
+// (the provenance tracker keys its rewrite cache on it).
+func (c *SelectCore) SQL() string {
+	var b strings.Builder
+	c.render(&b)
+	return b.String()
+}
+
 func (c *SelectCore) render(b *strings.Builder) {
 	b.WriteString("SELECT ")
 	if c.Distinct {

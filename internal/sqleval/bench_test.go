@@ -12,7 +12,7 @@ import (
 
 // benchDB builds a flight-schema database scaled to nAircraft × nFlights so
 // join benchmarks exercise non-trivial cardinalities.
-func benchDB(b *testing.B, nAircraft, nFlights int) *storage.Database {
+func benchDB(b testing.TB, nAircraft, nFlights int) *storage.Database {
 	b.Helper()
 	s := &schema.Schema{
 		Name: "flight_bench",
@@ -53,6 +53,15 @@ func benchDB(b *testing.B, nAircraft, nFlights int) *storage.Database {
 }
 
 func benchExec(b *testing.B, sql string, nAircraft, nFlights int) {
+	benchExecPath(b, sql, nAircraft, nFlights, false)
+}
+
+// benchExecPath executes sql repeatedly through one executor, with the
+// indexed access paths enabled (the default) or disabled (the scan
+// baseline). The warm-up execution compiles the plan and, on the indexed
+// path, builds any lazily constructed column indexes, so the measured
+// iterations see the steady state both paths reach after one execution.
+func benchExecPath(b *testing.B, sql string, nAircraft, nFlights int, scanOnly bool) {
 	b.Helper()
 	db := benchDB(b, nAircraft, nFlights)
 	stmt, err := sqlparse.Parse(sql)
@@ -60,6 +69,7 @@ func benchExec(b *testing.B, sql string, nAircraft, nFlights int) {
 		b.Fatal(err)
 	}
 	ex := New(db)
+	ex.NoIndexes = scanOnly
 	if _, err := ex.Exec(stmt); err != nil {
 		b.Fatal(err)
 	}
@@ -68,6 +78,78 @@ func benchExec(b *testing.B, sql string, nAircraft, nFlights int) {
 	for i := 0; i < b.N; i++ {
 		if _, err := ex.Exec(stmt); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// The indexed-vs-scan benchmark pairs below are recorded in BENCH_PR2.json
+// and smoke-run by CI; TestIndexAllocRegressionGate enforces their ≥5x
+// allocs/op win in the regular test suite.
+
+// pointLookupSQL is a point lookup by primary key inside a join: the
+// indexed path probes aircraft.aid and joins one row; the scan path hashes
+// a build side and filters the literal per candidate pair.
+const pointLookupSQL = "SELECT count(*) FROM flight AS T1 JOIN aircraft AS T2 ON T1.aid = T2.aid WHERE T2.aid = 77"
+
+// joinReuseSQL is a repeated equi-join whose build side is the whole
+// aircraft table: the indexed path probes the table's column index; the
+// scan path rebuilds a hash table over it on every execution.
+const joinReuseSQL = "SELECT T1.flno, T2.name FROM flight AS T1 JOIN aircraft AS T2 ON T1.aid = T2.aid WHERE T2.distance > 9000"
+
+// BenchmarkIndexPointLookup measures a WHERE pk = literal probe served by
+// a secondary index.
+func BenchmarkIndexPointLookup(b *testing.B) {
+	benchExecPath(b, pointLookupSQL, 2000, 400, false)
+}
+
+// BenchmarkScanPointLookup is the same query with indexes disabled.
+func BenchmarkScanPointLookup(b *testing.B) {
+	benchExecPath(b, pointLookupSQL, 2000, 400, true)
+}
+
+// BenchmarkIndexJoinReuse measures an equi-join whose build side reuses
+// the base table's column index across executions.
+func BenchmarkIndexJoinReuse(b *testing.B) {
+	benchExecPath(b, joinReuseSQL, 2000, 400, false)
+}
+
+// BenchmarkScanJoinReuse is the same join with indexes disabled, so the
+// hash-join build side is reconstructed per execution.
+func BenchmarkScanJoinReuse(b *testing.B) {
+	benchExecPath(b, joinReuseSQL, 2000, 400, true)
+}
+
+// TestIndexAllocRegressionGate enforces the indexed paths' acceptance bar
+// inside the regular test suite: the point-lookup probe and the reused
+// build-side join must allocate at least 5x less per execution than the
+// scan paths. AllocsPerRun is deterministic here (steady-state executions
+// of cached plans), so the gate cannot flake; BENCH_PR2.json records the
+// full timed numbers.
+func TestIndexAllocRegressionGate(t *testing.T) {
+	for _, tc := range []struct{ name, sql string }{
+		{"point lookup", pointLookupSQL},
+		{"join reuse", joinReuseSQL},
+	} {
+		db := benchDB(t, 2000, 400)
+		stmt, err := sqlparse.Parse(tc.sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		measure := func(scanOnly bool) float64 {
+			ex := New(db)
+			ex.NoIndexes = scanOnly
+			if _, err := ex.Exec(stmt); err != nil {
+				t.Fatal(err)
+			}
+			return testing.AllocsPerRun(10, func() {
+				if _, err := ex.Exec(stmt); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+		indexed, scan := measure(false), measure(true)
+		if indexed*5 > scan {
+			t.Errorf("%s: indexed path allocates %.0f/op vs scan %.0f/op — less than the required 5x win", tc.name, indexed, scan)
 		}
 	}
 }

@@ -107,23 +107,43 @@ func (cc *compiledCore) labels() []string {
 }
 
 // tableScan is one FROM entry: a base table (resolved to its live relation
-// at compile time) or a compiled derived table.
+// at compile time) or a compiled derived table. A base-table scan may carry
+// a point probe (WHERE col = literal lowered at compile time); execution
+// then reads the matching rows off the column's secondary index instead of
+// scanning Relation.Rows.
 type tableScan struct {
 	rel    *sqltypes.Relation // base table; nil for derived tables
 	sub    *program           // derived table; nil for base tables
+	table  string             // base-table name for index lookups; "" for derived
+	probe  *scanProbe         // optional point probe on a base table
 	offset int
 	width  int
 }
 
+// scanProbe is a compiled point lookup: the column offset within the
+// table's own row and the precomputed index key of the literal.
+type scanProbe struct {
+	col int
+	key []byte
+}
+
 func (ts *tableScan) rows(ex *Executor, outer *rowCtx) ([]sqltypes.Row, bool, error) {
-	if ts.sub == nil {
-		return ts.rel.Rows, false, nil
+	if ts.sub != nil {
+		rel, err := ex.runProgram(ts.sub, outer)
+		if err != nil {
+			return nil, false, err
+		}
+		return rel.Rows, true, nil
 	}
-	rel, err := ex.runProgram(ts.sub, outer)
-	if err != nil {
-		return nil, false, err
+	if ts.probe != nil {
+		ids := ex.db.Index(ts.table, ts.probe.col).Lookup(ts.probe.key)
+		matched := make([]sqltypes.Row, len(ids))
+		for i, ri := range ids {
+			matched[i] = ts.rel.Rows[ri]
+		}
+		return matched, true, nil
 	}
-	return rel.Rows, true, nil
+	return ts.rel.Rows, false, nil
 }
 
 // joinPlan describes how one table joins into the frame. eqAcc/eqNew are
@@ -221,11 +241,15 @@ func (c *compiler) compileCore(core *sqlast.SelectCore, parent *scope) (*compile
 	}
 	cc.width = sc.width
 
-	// WHERE splits into conjuncts; for all-inner-join cores, equi conjuncts
+	// WHERE splits into conjuncts; col = literal conjuncts become index
+	// probes on their scan, and, for all-inner-join cores, equi conjuncts
 	// across tables become join keys and fully-bound conjuncts filter at the
 	// earliest scan or join where their columns exist. LEFT JOIN disables
 	// the pushdown: filtering before null extension would change results.
 	for _, conj := range sqlast.Conjuncts(core.Where) {
+		if c.probeConjunct(cc, sc, conj, allInner) {
+			continue
+		}
 		if allInner && len(cc.scans) > 1 && !c.ex.NestedLoopOnly {
 			if c.pushConjunct(cc, sc, conj) {
 				continue
@@ -297,7 +321,7 @@ func (c *compiler) compileScan(ref sqlast.TableRef, parent *scope) (*tableScan, 
 	for i, col := range rel.Columns {
 		cols[i] = strings.ToLower(col)
 	}
-	return &tableScan{rel: rel, width: len(cols)}, cols, nil
+	return &tableScan{rel: rel, table: strings.ToLower(ref.Name), width: len(cols)}, cols, nil
 }
 
 // compileJoin splits the ON condition into equi-key pairs (one side bound
@@ -392,6 +416,72 @@ func (c *compiler) pushConjunct(cc *compiledCore, sc *scope, conj sqlast.Expr) b
 	}
 	cc.baseFilters = append(cc.baseFilters, fn)
 	return true
+}
+
+// probeConjunct recognizes WHERE conjuncts of the form col = literal
+// (either operand order) whose column binds into a base-table scan of this
+// core, and lowers them into an index probe on that scan: execution fetches
+// exactly the rows holding the literal's key from a lazily built
+// storage.ColumnIndex instead of filtering a scan of Relation.Rows. The
+// probe fully subsumes the conjunct — the index's AppendCompareKey
+// encoding equates values exactly when the = operator (sqltypes.Compare)
+// does, and NULL columns are never indexed, matching the operator's
+// NULL-rejection — so nothing is re-checked per row.
+func (c *compiler) probeConjunct(cc *compiledCore, sc *scope, conj sqlast.Expr, allInner bool) bool {
+	if c.ex.NoIndexes || c.ex.NestedLoopOnly {
+		return false
+	}
+	b, ok := conj.(*sqlast.Binary)
+	if !ok || b.Op != "=" {
+		return false
+	}
+	cr, lit := probeOperands(b)
+	if cr == nil || cr.Column == "*" || lit.Value.IsNull() {
+		return false
+	}
+	depth, idx, found := sc.resolve(cr.Table, cr.Column)
+	if !found || depth != 0 {
+		return false
+	}
+	si := 0
+	for i := 1; i < len(cc.scans); i++ {
+		if idx >= cc.scans[i].offset {
+			si = i
+		}
+	}
+	ts := cc.scans[si]
+	if ts.table == "" || ts.probe != nil {
+		return false
+	}
+	// Probing the base scan is order- and semantics-preserving under any
+	// join mix (base columns are never null-extended, so the WHERE conjunct
+	// removes the same output rows before or after the joins); later scans
+	// may only be pre-filtered when every join is inner.
+	if si > 0 && !allInner {
+		return false
+	}
+	key, ok := lit.Value.AppendCompareKey(nil)
+	if !ok {
+		return false
+	}
+	ts.probe = &scanProbe{col: idx - ts.offset, key: key}
+	return true
+}
+
+// probeOperands extracts the (column, literal) pair of an = comparison,
+// accepting both "col = lit" and "lit = col".
+func probeOperands(b *sqlast.Binary) (*sqlast.ColumnRef, *sqlast.Literal) {
+	if cr, ok := b.L.(*sqlast.ColumnRef); ok {
+		if lit, ok := b.R.(*sqlast.Literal); ok {
+			return cr, lit
+		}
+	}
+	if cr, ok := b.R.(*sqlast.ColumnRef); ok {
+		if lit, ok := b.L.(*sqlast.Literal); ok {
+			return cr, lit
+		}
+	}
+	return nil, nil
 }
 
 // conjunctSpan reports the maximum depth-0 frame offset a conjunct touches,

@@ -31,15 +31,22 @@ func relEqual(a, b *sqltypes.Relation) bool {
 	return true
 }
 
-// runBoth executes sql through the hash-join path and the nested-loop
-// fallback and requires identical relations.
+// runBoth executes sql through the indexed path, the index-free hash-join
+// path, and the nested-loop fallback, and requires identical relations
+// from all three.
 func runBoth(t *testing.T, db *storage.Database, sql string) *sqltypes.Relation {
 	t.Helper()
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		t.Fatalf("parse %q: %v", sql, err)
 	}
-	hash, err := New(db).Exec(stmt)
+	indexed, err := New(db).Exec(stmt)
+	if err != nil {
+		t.Fatalf("indexed path %q: %v", sql, err)
+	}
+	scan := New(db)
+	scan.NoIndexes = true
+	hash, err := scan.Exec(stmt)
 	if err != nil {
 		t.Fatalf("hash path %q: %v", sql, err)
 	}
@@ -48,6 +55,9 @@ func runBoth(t *testing.T, db *storage.Database, sql string) *sqltypes.Relation 
 	loop, err := nl.Exec(stmt)
 	if err != nil {
 		t.Fatalf("nested-loop path %q: %v", sql, err)
+	}
+	if !relEqual(indexed, hash) {
+		t.Fatalf("index and scan paths diverge for %q:\nindexed:\n%s\nscan:\n%s", sql, indexed, hash)
 	}
 	if !relEqual(hash, loop) {
 		t.Fatalf("join paths diverge for %q:\nhash:\n%s\nnested loop:\n%s", sql, hash, loop)

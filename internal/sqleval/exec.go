@@ -7,24 +7,29 @@
 // The executor is a two-phase compile-and-execute engine. The compile
 // phase (compile.go) runs once per statement: it resolves every column
 // reference to a fixed frame coordinate, expands stars, detects equi-join
-// keys in ON and WHERE, pushes filters below inner joins, and lowers every
-// expression into a closure. The execute phase streams rows through hash
-// equi-joins (build side chosen by cardinality, nested-loop fallback for
-// non-equi conditions), evaluates the pre-bound closures directly against
-// flat rows — no per-row environment allocation, no name lookups — and
-// uses compact binary row keys (sqltypes.AppendKey) for every dedup,
-// grouping, and join-matching structure. Compiled plans are cached per
-// executor keyed by statement identity, so re-executing a statement (the
-// CycleSQL loop runs every candidate plus every provenance rewrite) skips
-// straight to execution. Statements must not be mutated between
-// executions through the same executor.
+// keys in ON and WHERE, lowers col = literal conjuncts into secondary-index
+// probes, pushes the remaining filters below inner joins, and lowers every
+// expression into a closure. The execute phase reads point lookups straight
+// off lazily built storage column indexes, streams rows through hash
+// equi-joins (single-column build sides reuse the table's column index
+// instead of rebuilding a hash table per execution; otherwise the build
+// side is chosen by cardinality, with a nested-loop fallback for non-equi
+// conditions), evaluates the pre-bound closures directly against flat rows
+// — no per-row environment allocation, no name lookups — and uses compact
+// binary row keys (sqltypes.AppendKey) for every dedup, grouping, and
+// join-matching structure. Compiled plans are cached per executor, first by
+// statement identity and then by canonical SQL (sqlnorm.CacheKey), so
+// re-executing a statement — or a textually identical candidate arriving
+// as a distinct AST from another beam — skips straight to execution.
+// Statements must not be mutated between executions through the same
+// executor.
 package sqleval
 
 import (
 	"fmt"
-	"math"
 
 	"cyclesql/internal/sqlast"
+	"cyclesql/internal/sqlnorm"
 	"cyclesql/internal/sqltypes"
 	"cyclesql/internal/storage"
 )
@@ -34,14 +39,24 @@ type Executor struct {
 	db *storage.Database
 	// depth guards against pathological recursion from corrupted queries.
 	depth int
-	// plans caches compiled programs by statement identity.
-	plans map[*sqlast.SelectStmt]*program
+	// plans caches compiled programs by statement identity (the fast path
+	// for re-executing the same AST), plansByKey by canonical SQL, so
+	// textually identical statements arriving as distinct ASTs share one
+	// compiled plan. Both maps hold the same programs.
+	plans      map[*sqlast.SelectStmt]*program
+	plansByKey map[string]*program
 
-	// NestedLoopOnly disables equi-join detection and filter pushdown so
-	// every join runs the nested-loop fallback. It exists to verify that
-	// both join paths produce identical relations; set it before the first
-	// Exec of a statement (plans are cached per statement).
+	// NestedLoopOnly disables equi-join detection, filter pushdown, and
+	// index probes so every join runs the nested-loop fallback. It exists
+	// to verify that the join paths produce identical relations; set it
+	// before the first Exec of a statement (plans are cached per statement).
 	NestedLoopOnly bool
+
+	// NoIndexes disables secondary-index probes and index-backed join build
+	// sides while keeping hash joins and filter pushdown, so every access
+	// path scans Relation.Rows. It exists to verify and benchmark the
+	// indexed paths against the scan paths; set it before the first Exec.
+	NoIndexes bool
 }
 
 // New returns an executor over db.
@@ -68,18 +83,30 @@ func (ex *Executor) compiled(stmt *sqlast.SelectStmt) (*program, error) {
 	if p, ok := ex.plans[stmt]; ok {
 		return p, nil
 	}
+	key := sqlnorm.CacheKey(stmt)
+	if p, ok := ex.plansByKey[key]; ok {
+		ex.storePlan(stmt, key, p)
+		return p, nil
+	}
 	c := &compiler{ex: ex}
 	p, err := c.compileStmt(stmt, nil)
 	if err != nil {
 		return nil, err
 	}
+	ex.storePlan(stmt, key, p)
+	return p, nil
+}
+
+func (ex *Executor) storePlan(stmt *sqlast.SelectStmt, key string, p *program) {
 	if ex.plans == nil {
 		ex.plans = make(map[*sqlast.SelectStmt]*program)
+		ex.plansByKey = make(map[string]*program)
 	} else if len(ex.plans) >= maxCachedPlans {
 		clear(ex.plans)
+		clear(ex.plansByKey)
 	}
 	ex.plans[stmt] = p
-	return p, nil
+	ex.plansByKey[key] = p
 }
 
 func (ex *Executor) runProgram(p *program, outer *rowCtx) (*sqltypes.Relation, error) {
@@ -248,7 +275,7 @@ func (ex *Executor) buildFrom(cc *compiledCore, outer *rowCtx) ([]sqltypes.Row, 
 		if err != nil {
 			return nil, false, err
 		}
-		rows, err = ex.execJoin(rows, accW, right, next.width, jp, outer)
+		rows, err = ex.execJoin(rows, accW, next, right, jp, outer)
 		if err != nil {
 			return nil, false, err
 		}
@@ -258,14 +285,17 @@ func (ex *Executor) buildFrom(cc *compiledCore, outer *rowCtx) ([]sqltypes.Row, 
 	return rows, owned, nil
 }
 
-// execJoin combines the accumulated frame rows with one table. With equi
-// keys it runs a streaming hash join, building the hash table on the
-// smaller side; without keys it falls back to a nested loop. Both paths
-// emit rows in identical order (left-major, right rows in scan order) and
-// null-extend unmatched left rows inline for LEFT JOIN, matching rows by
-// index — never by value — so duplicate-valued rows cannot collide.
-func (ex *Executor) execJoin(acc []sqltypes.Row, accW int, right []sqltypes.Row, rightW int, jp *joinPlan, outer *rowCtx) ([]sqltypes.Row, error) {
-	outW := accW + rightW
+// execJoin combines the accumulated frame rows with one table. With a
+// single equi key against a whole base table it probes the table's column
+// index — the prebuilt equivalent of the hash table the generic path
+// rebuilds per execution. With equi keys otherwise it runs a streaming
+// hash join, building the hash table on the smaller side; without keys it
+// falls back to a nested loop. All paths emit rows in identical order
+// (left-major, right rows in scan order) and null-extend unmatched left
+// rows inline for LEFT JOIN, matching rows by index — never by value — so
+// duplicate-valued rows cannot collide.
+func (ex *Executor) execJoin(acc []sqltypes.Row, accW int, next *tableScan, right []sqltypes.Row, jp *joinPlan, outer *rowCtx) ([]sqltypes.Row, error) {
+	outW := accW + next.width
 	scratch := make(sqltypes.Row, outW)
 	ctx := &rowCtx{parent: outer, row: scratch}
 	var out []sqltypes.Row
@@ -315,6 +345,34 @@ func (ex *Executor) execJoin(acc []sqltypes.Row, accW int, right []sqltypes.Row,
 	}
 
 	var buf []byte
+	if !ex.NoIndexes && len(jp.eqAcc) == 1 && next.sub == nil && next.probe == nil {
+		// The build side is a whole base table joined on one column: reuse
+		// (or lazily build, once per database) its column index instead of
+		// hashing the table again on every execution. Index buckets hold
+		// row positions in scan order, so output order matches the generic
+		// paths, and buckets and probe keys share the Compare-consistent
+		// AppendCompareKey encoding the generic paths use, so the matched
+		// pairs are bit-identical too.
+		ix := ex.db.Index(next.table, jp.eqNew[0])
+		for _, lrow := range acc {
+			copy(scratch, lrow)
+			matched := false
+			if key, ok := lrow.AppendCompareKeyCols(buf[:0], jp.eqAcc); ok {
+				buf = key
+				for _, ri := range ix.Lookup(key) {
+					hit, err := tryPair(right[ri])
+					if err != nil {
+						return nil, err
+					}
+					matched = matched || hit
+				}
+			}
+			if jp.left && !matched {
+				nullExtend()
+			}
+		}
+		return out, nil
+	}
 	if len(right) <= len(acc) {
 		// Build on the right side; probe with left rows in order.
 		ht := make(map[string][]int32, len(right))
@@ -387,37 +445,9 @@ func (ex *Executor) execJoin(acc []sqltypes.Row, accW int, right []sqltypes.Row,
 
 // joinKey encodes the equi-key columns of a row into dst. A NULL in any
 // key column reports ok=false: NULL never equi-matches anything. The
-// encoding matches the = operator (sqltypes.Compare) exactly: numerics
-// compare as float64 across the INTEGER/REAL divide — including above
-// 2^53, where Compare itself conflates distinct int64s — so numerics
-// encode as normalized float64 bits, not as AppendKey's int-collapsed
-// form, keeping the hash path bit-identical to the nested-loop path.
+// Compare-consistent encoding (sqltypes.AppendCompareKey, shared with the
+// secondary indexes) matches the = operator exactly, keeping the hash and
+// index paths bit-identical to the nested-loop path.
 func joinKey(dst []byte, row sqltypes.Row, idxs []int) ([]byte, bool) {
-	for _, i := range idxs {
-		v := row[i]
-		switch {
-		case v.IsNull():
-			return dst, false
-		case v.IsNumeric():
-			f, _ := v.AsFloat()
-			if f == 0 {
-				f = 0 // collapse -0.0 onto +0.0, as Compare does
-			}
-			bits := math.Float64bits(f)
-			dst = append(dst, 0x01,
-				byte(bits>>56), byte(bits>>48), byte(bits>>40), byte(bits>>32),
-				byte(bits>>24), byte(bits>>16), byte(bits>>8), byte(bits))
-		default:
-			s := v.Text()
-			dst = append(dst, 0x03)
-			n := uint(len(s))
-			for n >= 0x80 {
-				dst = append(dst, byte(n)|0x80)
-				n >>= 7
-			}
-			dst = append(dst, byte(n))
-			dst = append(dst, s...)
-		}
-	}
-	return dst, true
+	return row.AppendCompareKeyCols(dst, idxs)
 }

@@ -9,9 +9,11 @@ import (
 )
 
 // TestSpiderDevJoinParity executes every gold query of a Spider dev slice
-// through both join paths — hash equi-joins with filter pushdown, and the
-// nested-loop fallback — and requires identical relations (same columns,
-// rows, and row order), the acceptance bar for the compiled engine.
+// through all three access paths — secondary-index probes and index-backed
+// build sides (the default), index-free hash equi-joins with filter
+// pushdown, and the nested-loop fallback — and requires identical
+// relations (same columns, rows, and row order), the acceptance bar for
+// the compiled engine.
 func TestSpiderDevJoinParity(t *testing.T) {
 	bench := datasets.Spider()
 	dev := bench.Dev
@@ -21,7 +23,13 @@ func TestSpiderDevJoinParity(t *testing.T) {
 	checked := 0
 	for _, ex := range dev {
 		db := bench.DB(ex.DBName)
-		hash, err := sqleval.New(db).Exec(ex.Gold)
+		indexed, err := sqleval.New(db).Exec(ex.Gold)
+		if err != nil {
+			t.Fatalf("indexed path %q: %v", ex.GoldSQL, err)
+		}
+		scan := sqleval.New(db)
+		scan.NoIndexes = true
+		hash, err := scan.Exec(ex.Gold)
 		if err != nil {
 			t.Fatalf("hash path %q: %v", ex.GoldSQL, err)
 		}
@@ -31,6 +39,9 @@ func TestSpiderDevJoinParity(t *testing.T) {
 		if err != nil {
 			t.Fatalf("nested-loop path %q: %v", ex.GoldSQL, err)
 		}
+		if !identical(indexed, hash) {
+			t.Fatalf("index and scan paths diverge for %q:\nindexed:\n%s\nscan:\n%s", ex.GoldSQL, indexed, hash)
+		}
 		if !identical(hash, loop) {
 			t.Fatalf("join paths diverge for %q:\nhash:\n%s\nnested loop:\n%s", ex.GoldSQL, hash, loop)
 		}
@@ -39,7 +50,7 @@ func TestSpiderDevJoinParity(t *testing.T) {
 	if checked == 0 {
 		t.Fatal("no dev examples checked")
 	}
-	t.Logf("checked %d dev queries", checked)
+	t.Logf("checked %d dev queries through 3 access paths", checked)
 }
 
 func identical(a, b *sqltypes.Relation) bool {

@@ -117,3 +117,73 @@ func TestClassifyMonotoneUnderAddedClauses(t *testing.T) {
 		t.Fatalf("adding clauses lowered difficulty: %s -> %s", base, more)
 	}
 }
+
+func cacheKey(t *testing.T, sql string) string {
+	t.Helper()
+	return CacheKey(sqlparse.MustParse(sql))
+}
+
+func TestCacheKeyFoldsCaseWhitespaceAndConjunctOrder(t *testing.T) {
+	base := cacheKey(t, "SELECT flno FROM Flight WHERE origin = 'Chicago' AND aid > 2")
+	for _, sql := range []string{
+		"select flno from FLIGHT where ORIGIN = 'Chicago' and AID > 2",
+		"SELECT  flno  FROM  flight  WHERE  origin  =  'Chicago'  AND  aid  >  2",
+		"SELECT flno FROM flight WHERE aid > 2 AND origin = 'Chicago'",
+	} {
+		if cacheKey(t, sql) != base {
+			t.Errorf("CacheKey(%q) must equal the base key", sql)
+		}
+	}
+	// Projection identifier case folds everywhere except the output label,
+	// which compiled plans embed verbatim.
+	if cacheKey(t, "SELECT FLNO FROM Flight WHERE origin = 'Chicago' AND aid > 2") == base {
+		t.Error("projection label case is observable and must not fold")
+	}
+}
+
+func TestCacheKeyPreservesSemantics(t *testing.T) {
+	base := cacheKey(t, "SELECT flno FROM flight WHERE origin = 'Chicago' ORDER BY flno LIMIT 2")
+	for _, sql := range []string{
+		// Literal values, text-literal case, projection order, aliases,
+		// LIMIT, and DISTINCT are all semantic: plans are not shareable.
+		"SELECT flno FROM flight WHERE origin = 'Boston' ORDER BY flno LIMIT 2",
+		"SELECT flno FROM flight WHERE origin = 'CHICAGO' ORDER BY flno LIMIT 2",
+		"SELECT flno FROM flight WHERE origin = 'Chicago' ORDER BY flno LIMIT 3",
+		"SELECT flno AS f FROM flight WHERE origin = 'Chicago' ORDER BY flno LIMIT 2",
+		"SELECT DISTINCT flno FROM flight WHERE origin = 'Chicago' ORDER BY flno LIMIT 2",
+	} {
+		if cacheKey(t, sql) == base {
+			t.Errorf("CacheKey(%q) must differ from the base key", sql)
+		}
+	}
+	a := cacheKey(t, "SELECT a, b FROM t")
+	b := cacheKey(t, "SELECT b, a FROM t")
+	if a == b {
+		t.Error("projection order is semantic and must not fold")
+	}
+}
+
+func TestCacheKeyNormalizesSubqueries(t *testing.T) {
+	a := cacheKey(t, "SELECT name FROM singer WHERE id IN (SELECT sid FROM song WHERE x = 1 AND y = 2)")
+	b := cacheKey(t, "SELECT name FROM SINGER WHERE id IN (SELECT sid FROM song WHERE Y = 2 AND X = 1)")
+	if a != b {
+		t.Error("subquery conjunct order and case must fold into the same key")
+	}
+}
+
+func TestCacheKeyDoesNotMutateInput(t *testing.T) {
+	stmt := sqlparse.MustParse("SELECT Flno FROM Flight WHERE Origin = 'Chicago' AND aid > 2")
+	before := stmt.SQL()
+	_ = CacheKey(stmt)
+	if stmt.SQL() != before {
+		t.Error("CacheKey must canonicalize a clone, not the input")
+	}
+}
+
+func TestCacheKeySubqueryCaseCannotReorderConjuncts(t *testing.T) {
+	a := cacheKey(t, "SELECT name FROM singer WHERE id IN (SELECT sid FROM Zong) AND id IN (SELECT sid FROM abba)")
+	b := cacheKey(t, "SELECT name FROM singer WHERE id IN (SELECT sid FROM zong) AND id IN (SELECT sid FROM abba)")
+	if a != b {
+		t.Error("subqueries must be canonicalized before the outer conjunct sort")
+	}
+}

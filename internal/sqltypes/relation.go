@@ -36,6 +36,21 @@ func (r Row) AppendKey(dst []byte) []byte {
 	return dst
 }
 
+// AppendCompareKeyCols appends the Compare-consistent encoding (see
+// Value.AppendCompareKey) of the selected columns to dst. It reports
+// ok=false — leaving dst in an unspecified partial state — when any
+// selected value is NULL: equi-join matching and index probes treat such
+// rows as matching nothing.
+func (r Row) AppendCompareKeyCols(dst []byte, cols []int) (key []byte, ok bool) {
+	for _, c := range cols {
+		var vok bool
+		if dst, vok = r[c].AppendCompareKey(dst); !vok {
+			return dst, false
+		}
+	}
+	return dst, true
+}
+
 // Relation is a materialized query result or intermediate table: an ordered
 // list of column names plus rows.
 type Relation struct {

@@ -160,3 +160,18 @@ func TestRowKeyDistinguishesArity(t *testing.T) {
 		t.Fatal("rows of different arity must not collide")
 	}
 }
+
+func TestAppendCompareKeyCols(t *testing.T) {
+	row := Row{NewInt(1), NewText("x"), NewFloat(2.0), Null()}
+	key, ok := row.AppendCompareKeyCols(nil, []int{0, 2})
+	if !ok {
+		t.Fatal("non-NULL columns must encode")
+	}
+	same, ok := Row{NewFloat(1.0), NewText("y"), NewInt(2), Null()}.AppendCompareKeyCols(nil, []int{0, 2})
+	if !ok || string(key) != string(same) {
+		t.Fatal("Compare-equal column values must encode identically")
+	}
+	if _, ok := row.AppendCompareKeyCols(nil, []int{0, 3}); ok {
+		t.Fatal("a NULL in any selected column must report ok=false")
+	}
+}

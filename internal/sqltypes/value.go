@@ -194,6 +194,33 @@ func (v Value) AppendKey(dst []byte) []byte {
 	}
 }
 
+// AppendCompareKey appends an encoding under which two values encode
+// identically exactly when Compare orders them equal — the = operator's
+// notion of equality. Numerics encode as normalized float64 bits (they
+// compare as float64 across the INTEGER/REAL divide, including beyond
+// 2^53, where Compare itself conflates distinct int64s) and text reuses
+// the AppendKey length-prefixed encoding. NULL reports ok=false instead of
+// encoding: every caller — equi-join matching, secondary-index buckets and
+// probes — is NULL-rejecting, so NULL rows index nowhere and a NULL key
+// matches nothing.
+func (v Value) AppendCompareKey(dst []byte) ([]byte, bool) {
+	switch {
+	case v.IsNull():
+		return dst, false
+	case v.IsNumeric():
+		f, _ := v.AsFloat()
+		if f == 0 {
+			f = 0 // collapse -0.0 onto +0.0, as Compare does
+		}
+		bits := math.Float64bits(f)
+		return append(dst, 0x01,
+			byte(bits>>56), byte(bits>>48), byte(bits>>40), byte(bits>>32),
+			byte(bits>>24), byte(bits>>16), byte(bits>>8), byte(bits)), true
+	default:
+		return v.AppendKey(dst), true
+	}
+}
+
 func appendKeyInt(dst []byte, i int64) []byte {
 	u := uint64(i)
 	return append(dst, 0x01,

@@ -5,6 +5,65 @@ import (
 	"testing/quick"
 )
 
+func compareKey(t *testing.T, v Value) string {
+	t.Helper()
+	key, ok := v.AppendCompareKey(nil)
+	if !ok {
+		t.Fatalf("AppendCompareKey(%v) reported NULL", v)
+	}
+	return string(key)
+}
+
+func TestAppendCompareKeyMatchesCompare(t *testing.T) {
+	pairs := []struct {
+		a, b Value
+	}{
+		{NewInt(3), NewFloat(3.0)},
+		{NewInt(0), NewFloat(-0.0)},
+		{NewFloat(2.5), NewFloat(2.5)},
+		{NewText("x"), NewText("x")},
+		// Beyond 2^53 Compare conflates as float64; the encoding must too.
+		{NewInt(1_000_000_000_000_000), NewFloat(1e15)},
+	}
+	for _, p := range pairs {
+		if Compare(p.a, p.b) != 0 {
+			t.Fatalf("test setup: %v and %v must Compare equal", p.a, p.b)
+		}
+		if compareKey(t, p.a) != compareKey(t, p.b) {
+			t.Errorf("Compare-equal values %v and %v encode differently", p.a, p.b)
+		}
+	}
+	distinct := []struct {
+		a, b Value
+	}{
+		{NewInt(3), NewInt(4)},
+		{NewText("3"), NewInt(3)}, // text never equals numeric under Compare
+		{NewText("a"), NewText("A")},
+		{NewFloat(2.5), NewInt(2)},
+	}
+	for _, p := range distinct {
+		if Compare(p.a, p.b) == 0 {
+			t.Fatalf("test setup: %v and %v must Compare unequal", p.a, p.b)
+		}
+		if compareKey(t, p.a) == compareKey(t, p.b) {
+			t.Errorf("Compare-unequal values %v and %v encode identically", p.a, p.b)
+		}
+	}
+}
+
+func TestAppendCompareKeyTextReusesAppendKey(t *testing.T) {
+	v := NewText("hello")
+	if compareKey(t, v) != string(v.AppendKey(nil)) {
+		t.Error("text AppendCompareKey must reuse the AppendKey encoding")
+	}
+}
+
+func TestAppendCompareKeyNull(t *testing.T) {
+	if _, ok := Null().AppendCompareKey(nil); ok {
+		t.Error("NULL must report ok=false")
+	}
+}
+
 func TestValueConstructorsAndAccessors(t *testing.T) {
 	if !Null().IsNull() {
 		t.Fatal("Null() must be null")

@@ -1,0 +1,125 @@
+// Secondary hash indexes over stored tables. An index maps the binary key
+// encoding of one column's values (sqltypes.Value.AppendCompareKey — under
+// which two values share a bucket exactly when the = operator treats them
+// as equal; its text path reuses AppendKey) to the list of row positions
+// holding that value, in scan order.
+//
+// Indexes are built lazily on first use and then kept consistent with the
+// table: Insert appends the new row to every built index of its table,
+// Mutate drops all indexes (the callback rewrites values in place), and
+// Clone starts the copy with no indexes so the clone's perturbed contents
+// can never read the original's buckets. A row-count check on every access
+// catches direct Relation.Append misuse and triggers a rebuild.
+//
+// NULL values are never indexed: the = operator is NULL-rejecting, so a
+// probe must not return NULL rows and a NULL probe key matches nothing.
+package storage
+
+import (
+	"strings"
+
+	"cyclesql/internal/sqltypes"
+)
+
+// ColumnIndex is a hash index over one column of a stored table. The
+// executor treats it both as a point-lookup structure (WHERE col = literal)
+// and as a prebuilt hash-join build side (groups row positions by key, the
+// exact shape execJoin otherwise rebuilds per execution).
+type ColumnIndex struct {
+	column int
+	rows   int // relation rows covered; mismatch triggers a rebuild
+	groups map[string][]int32
+}
+
+// Lookup returns the positions of rows whose column value encodes to key,
+// in ascending row order. The returned slice is shared; callers must not
+// mutate it. Probing with string(key) keeps the lookup allocation-free.
+func (ix *ColumnIndex) Lookup(key []byte) []int32 { return ix.groups[string(key)] }
+
+// Distinct returns the number of distinct non-NULL keys in the index; it
+// is introspection for tests and future cost-based access-path choices.
+func (ix *ColumnIndex) Distinct() int { return len(ix.groups) }
+
+func buildColumnIndex(rel *sqltypes.Relation, col int) *ColumnIndex {
+	ix := &ColumnIndex{
+		column: col,
+		rows:   len(rel.Rows),
+		groups: make(map[string][]int32, len(rel.Rows)),
+	}
+	var buf []byte
+	for ri, row := range rel.Rows {
+		if col >= len(row) {
+			continue
+		}
+		key, ok := row[col].AppendCompareKey(buf[:0])
+		if !ok {
+			continue
+		}
+		buf = key
+		ix.groups[string(key)] = append(ix.groups[string(key)], int32(ri))
+	}
+	return ix
+}
+
+// add appends one freshly inserted row to the index.
+func (ix *ColumnIndex) add(row sqltypes.Row, pos int) {
+	ix.rows++
+	if ix.column >= len(row) {
+		return
+	}
+	key, ok := row[ix.column].AppendCompareKey(nil)
+	if !ok {
+		return
+	}
+	ix.groups[string(key)] = append(ix.groups[string(key)], int32(pos))
+}
+
+// Index returns the hash index for one column of a table, building it on
+// first use. It returns nil for unknown tables or out-of-range columns.
+// The index stays valid until the next Mutate; Insert maintains it in
+// place. Like the rest of the store, indexes are not safe for concurrent
+// use.
+func (db *Database) Index(table string, col int) *ColumnIndex {
+	rel := db.Table(table)
+	if rel == nil || col < 0 || col >= len(rel.Columns) {
+		return nil
+	}
+	name := strings.ToLower(table)
+	byCol := db.indexes[name]
+	if byCol == nil {
+		if db.indexes == nil {
+			db.indexes = make(map[string]map[int]*ColumnIndex)
+		}
+		byCol = make(map[int]*ColumnIndex)
+		db.indexes[name] = byCol
+	}
+	ix := byCol[col]
+	if ix == nil || ix.rows != len(rel.Rows) {
+		ix = buildColumnIndex(rel, col)
+		byCol[col] = ix
+	}
+	return ix
+}
+
+// HasIndex reports whether a built index currently exists for the column.
+// It never builds one; tests use it to observe invalidation.
+func (db *Database) HasIndex(table string, col int) bool {
+	rel := db.Table(table)
+	if rel == nil {
+		return false
+	}
+	ix := db.indexes[strings.ToLower(table)][col]
+	return ix != nil && ix.rows == len(rel.Rows)
+}
+
+// maintainIndexes folds one inserted row into the table's built indexes.
+func (db *Database) maintainIndexes(table string, row sqltypes.Row, pos int) {
+	for _, ix := range db.indexes[strings.ToLower(table)] {
+		ix.add(row, pos)
+	}
+}
+
+// invalidateIndexes drops every built index; the next probe rebuilds.
+func (db *Database) invalidateIndexes() {
+	db.indexes = nil
+}

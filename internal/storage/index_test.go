@@ -1,0 +1,159 @@
+package storage
+
+import (
+	"testing"
+
+	"cyclesql/internal/schema"
+	"cyclesql/internal/sqltypes"
+)
+
+func indexDB(t *testing.T) *Database {
+	t.Helper()
+	s := &schema.Schema{
+		Name: "idx",
+		Tables: []*schema.Table{
+			{Name: "Item", Columns: []schema.Column{
+				{Name: "id", Type: sqltypes.KindInt, PrimaryKey: true},
+				{Name: "tag", Type: sqltypes.KindText},
+				{Name: "score", Type: sqltypes.KindFloat},
+			}},
+		},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	db := NewDatabase(s)
+	db.MustInsert("Item", sqltypes.NewInt(1), sqltypes.NewText("a"), sqltypes.NewFloat(2.0))
+	db.MustInsert("Item", sqltypes.NewInt(2), sqltypes.NewText("b"), sqltypes.NewFloat(2.5))
+	db.MustInsert("Item", sqltypes.NewInt(3), sqltypes.Null(), sqltypes.NewFloat(2.0))
+	db.MustInsert("Item", sqltypes.NewInt(4), sqltypes.NewText("a"), sqltypes.Null())
+	return db
+}
+
+func lookupVal(db *Database, table string, col int, v sqltypes.Value) []int32 {
+	key, ok := v.AppendCompareKey(nil)
+	if !ok {
+		return nil
+	}
+	return db.Index(table, col).Lookup(key)
+}
+
+func TestIndexLookup(t *testing.T) {
+	db := indexDB(t)
+	if got := lookupVal(db, "Item", 1, sqltypes.NewText("a")); len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Fatalf("tag=a rows: %v", got)
+	}
+	if got := lookupVal(db, "Item", 1, sqltypes.NewText("missing")); len(got) != 0 {
+		t.Fatalf("missing key rows: %v", got)
+	}
+	// Numerics bucket by Compare equality: INTEGER 2 probes REAL 2.0.
+	if got := lookupVal(db, "Item", 2, sqltypes.NewInt(2)); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("score=2 rows: %v", got)
+	}
+	if db.Index("Item", 1).Distinct() != 2 {
+		t.Fatalf("distinct tags: %d", db.Index("Item", 1).Distinct())
+	}
+}
+
+func TestIndexSkipsNulls(t *testing.T) {
+	db := indexDB(t)
+	ix := db.Index("Item", 1)
+	total := 0
+	for _, v := range []string{"a", "b"} {
+		total += len(lookupVal(db, "Item", 1, sqltypes.NewText(v)))
+	}
+	if total != 3 {
+		t.Fatalf("non-NULL indexed rows: %d", total)
+	}
+	// A NULL probe key must match nothing (= is NULL-rejecting).
+	if _, ok := sqltypes.Null().AppendCompareKey(nil); ok {
+		t.Fatal("NULL must not encode to a probe key")
+	}
+	_ = ix
+}
+
+func TestIndexBoundsAndUnknowns(t *testing.T) {
+	db := indexDB(t)
+	if db.Index("Ghost", 0) != nil {
+		t.Fatal("unknown table must have no index")
+	}
+	if db.Index("Item", -1) != nil || db.Index("Item", 99) != nil {
+		t.Fatal("out-of-range columns must have no index")
+	}
+}
+
+func TestIndexMaintainedOnInsert(t *testing.T) {
+	db := indexDB(t)
+	if got := lookupVal(db, "Item", 1, sqltypes.NewText("b")); len(got) != 1 {
+		t.Fatalf("tag=b rows: %v", got)
+	}
+	if !db.HasIndex("Item", 1) {
+		t.Fatal("index should exist after first probe")
+	}
+	db.MustInsert("Item", sqltypes.NewInt(5), sqltypes.NewText("b"), sqltypes.NewFloat(9))
+	if !db.HasIndex("Item", 1) {
+		t.Fatal("insert must maintain the built index, not drop it")
+	}
+	if got := lookupVal(db, "Item", 1, sqltypes.NewText("b")); len(got) != 2 || got[1] != 4 {
+		t.Fatalf("tag=b rows after insert: %v", got)
+	}
+}
+
+func TestIndexInvalidatedOnMutate(t *testing.T) {
+	db := indexDB(t)
+	if got := lookupVal(db, "Item", 1, sqltypes.NewText("a")); len(got) != 2 {
+		t.Fatalf("tag=a rows: %v", got)
+	}
+	db.Mutate(func(table string, row sqltypes.Row) {
+		if row[1].Text() == "a" {
+			row[1] = sqltypes.NewText("z")
+		}
+	})
+	if db.HasIndex("Item", 1) {
+		t.Fatal("mutate must drop built indexes")
+	}
+	if got := lookupVal(db, "Item", 1, sqltypes.NewText("a")); len(got) != 0 {
+		t.Fatalf("stale tag=a rows after mutate: %v", got)
+	}
+	if got := lookupVal(db, "Item", 1, sqltypes.NewText("z")); len(got) != 2 {
+		t.Fatalf("tag=z rows after mutate: %v", got)
+	}
+}
+
+func TestIndexCloneIsolation(t *testing.T) {
+	db := indexDB(t)
+	if got := lookupVal(db, "Item", 0, sqltypes.NewInt(1)); len(got) != 1 {
+		t.Fatalf("id=1 rows: %v", got)
+	}
+	cp := db.Clone()
+	if cp.HasIndex("Item", 0) {
+		t.Fatal("clone must start with no indexes")
+	}
+	cp.Mutate(func(table string, row sqltypes.Row) {
+		if row[0].Int() == 1 {
+			row[0] = sqltypes.NewInt(100)
+		}
+	})
+	if got := lookupVal(cp, "Item", 0, sqltypes.NewInt(100)); len(got) != 1 {
+		t.Fatalf("clone id=100 rows: %v", got)
+	}
+	if got := lookupVal(db, "Item", 0, sqltypes.NewInt(1)); len(got) != 1 {
+		t.Fatal("original index must be untouched by clone mutation")
+	}
+	if got := lookupVal(db, "Item", 0, sqltypes.NewInt(100)); len(got) != 0 {
+		t.Fatal("original must not see clone values")
+	}
+}
+
+func TestIndexRebuiltOnDirectAppend(t *testing.T) {
+	db := indexDB(t)
+	if got := lookupVal(db, "Item", 1, sqltypes.NewText("b")); len(got) != 1 {
+		t.Fatalf("tag=b rows: %v", got)
+	}
+	// Appending to the relation behind the store's back (callers are told
+	// not to, but the row-count check makes it safe anyway).
+	db.Table("Item").Append(sqltypes.Row{sqltypes.NewInt(9), sqltypes.NewText("b"), sqltypes.Null()})
+	if got := lookupVal(db, "Item", 1, sqltypes.NewText("b")); len(got) != 2 {
+		t.Fatalf("tag=b rows after direct append: %v", got)
+	}
+}

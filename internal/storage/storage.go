@@ -14,10 +14,14 @@ import (
 	"cyclesql/internal/sqltypes"
 )
 
-// Database is an in-memory database instance: a schema plus table contents.
+// Database is an in-memory database instance: a schema plus table contents,
+// plus lazily built secondary indexes over table columns (see index.go).
 type Database struct {
 	Schema *schema.Schema
 	tables map[string]*sqltypes.Relation
+	// indexes holds the built column indexes per lower-cased table name.
+	// nil until the first probe; dropped wholesale on Mutate.
+	indexes map[string]map[int]*ColumnIndex
 }
 
 // NewDatabase returns an empty database for the schema. Every table starts
@@ -55,6 +59,7 @@ func (db *Database) Insert(table string, row sqltypes.Row) error {
 		coerced[i] = coerce(v, t.Columns[i].Type)
 	}
 	rel.Append(coerced)
+	db.maintainIndexes(t.Name, coerced, len(rel.Rows)-1)
 	return nil
 }
 
@@ -105,7 +110,9 @@ func (db *Database) TotalRows() int {
 }
 
 // Clone deep-copies the database contents (the schema is shared; schemata
-// are immutable after construction).
+// are immutable after construction). The clone starts with no indexes:
+// clones exist to be perturbed, so sharing buckets with the original would
+// serve stale probes after the first Mutate.
 func (db *Database) Clone() *Database {
 	out := &Database{Schema: db.Schema, tables: make(map[string]*sqltypes.Relation, len(db.tables))}
 	for k, rel := range db.tables {
@@ -115,8 +122,11 @@ func (db *Database) Clone() *Database {
 }
 
 // Mutate applies fn to every stored row of every table. The test-suite
-// distillation uses it to perturb copies of the database.
+// distillation uses it to perturb copies of the database. It drops every
+// built index first — fn rewrites values in place, so any probe served
+// from a pre-mutation bucket would read stale rows.
 func (db *Database) Mutate(fn func(table string, row sqltypes.Row)) {
+	db.invalidateIndexes()
 	for name, rel := range db.tables {
 		for _, row := range rel.Rows {
 			fn(name, row)

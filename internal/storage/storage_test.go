@@ -98,6 +98,45 @@ func TestMutateVisitsEveryRow(t *testing.T) {
 	}
 }
 
+func TestCoerceEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		in   sqltypes.Value
+		want sqltypes.Kind
+		eq   sqltypes.Value
+	}{
+		{"null into int", sqltypes.Null(), sqltypes.KindNull, sqltypes.Null()},
+		{"negative float truncates toward zero", sqltypes.NewFloat(-2.9), sqltypes.KindInt, sqltypes.NewInt(-2)},
+		{"integral float collapses", sqltypes.NewFloat(4.0), sqltypes.KindInt, sqltypes.NewInt(4)},
+		{"int passes through int", sqltypes.NewInt(7), sqltypes.KindInt, sqltypes.NewInt(7)},
+		{"text stays text in int column", sqltypes.NewText("12"), sqltypes.KindText, sqltypes.NewText("12")},
+	}
+	for _, c := range cases {
+		got := coerce(c.in, sqltypes.KindInt)
+		if got.Kind() != c.want || !sqltypes.Equal(got, c.eq) {
+			t.Errorf("%s: coerce(%v, INT) = %v (%v)", c.name, c.in, got, got.Kind())
+		}
+	}
+	if got := coerce(sqltypes.NewFloat(2.5), sqltypes.KindText); got.Kind() != sqltypes.KindText || got.Text() != "2.5" {
+		t.Errorf("float->TEXT: %v (%v)", got, got.Kind())
+	}
+	if got := coerce(sqltypes.NewInt(-8), sqltypes.KindText); got.Kind() != sqltypes.KindText || got.Text() != "-8" {
+		t.Errorf("int->TEXT: %v (%v)", got, got.Kind())
+	}
+	if got := coerce(sqltypes.Null(), sqltypes.KindText); !got.IsNull() {
+		t.Errorf("NULL->TEXT: %v", got)
+	}
+	if got := coerce(sqltypes.NewInt(3), sqltypes.KindFloat); got.Kind() != sqltypes.KindFloat || got.Float() != 3.0 {
+		t.Errorf("int->REAL: %v (%v)", got, got.Kind())
+	}
+	if got := coerce(sqltypes.Null(), sqltypes.KindFloat); !got.IsNull() {
+		t.Errorf("NULL->REAL: %v", got)
+	}
+	if got := coerce(sqltypes.NewText("abc"), sqltypes.KindFloat); got.Kind() != sqltypes.KindText {
+		t.Errorf("non-numeric text must pass through REAL column: %v", got)
+	}
+}
+
 func TestMustInsertPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
