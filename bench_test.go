@@ -12,11 +12,13 @@ import (
 	"fmt"
 	"strconv"
 	"testing"
+	"time"
 
 	"cyclesql/internal/core"
 	"cyclesql/internal/datasets"
 	"cyclesql/internal/experiments"
 	"cyclesql/internal/explain"
+	"cyclesql/internal/nl2sql"
 	"cyclesql/internal/nli"
 	"cyclesql/internal/nn"
 	"cyclesql/internal/provenance"
@@ -263,3 +265,54 @@ func mustParse(b *testing.B, sql string) *sqlast.SelectStmt {
 	}
 	return stmt
 }
+
+// ---- Feedback-loop parallelism benches (PR 3, BENCH_PR3.json) ----
+
+// loopBench measures the verification wall-clock of the full feedback
+// loop at beam 8 over a fixed dev slice, with a reject-all verifier so
+// every candidate is examined (the loop's worst case, the regime Fig 8a's
+// iteration counts bound). It reports the summed Result.Overhead — the
+// loop cost excluding model inference — as overhead-us/translate.
+// verifyLatency, when nonzero, charges each Verify call the documented
+// per-inference latency the way Fig 8b charges model inference (GPU
+// wall-clock is unavailable offline): the paper's verifier is a T5-Large
+// forward pass, so in deployment the loop overlaps real inference waits,
+// which is exactly what the parallel loop exploits.
+func loopBench(b *testing.B, parallelism int, verifyLatency time.Duration) {
+	bench := datasets.Spider()
+	dev := bench.Dev[:16]
+	reject := nli.Func{Label: "reject-all", Fn: func(string, nli.Premise) bool {
+		if verifyLatency > 0 {
+			time.Sleep(verifyLatency)
+		}
+		return false
+	}}
+	p := core.NewPipeline(nl2sql.MustByName("resdsql-3b"), reject, bench.Name)
+	p.Parallelism = parallelism
+	var overhead time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, ex := range dev {
+			res, err := p.Translate(ex, bench.DB(ex.DBName))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Iterations != len(res.Candidates) {
+				b.Fatalf("reject-all must exhaust the beam, examined %d/%d", res.Iterations, len(res.Candidates))
+			}
+			overhead += res.Overhead
+		}
+	}
+	b.ReportMetric(float64(overhead.Microseconds())/float64(b.N*len(dev)), "overhead-us/translate")
+}
+
+func BenchmarkTranslateLoopSequential(b *testing.B) { loopBench(b, 1, 0) }
+func BenchmarkTranslateLoopParallel4(b *testing.B)  { loopBench(b, 4, 0) }
+func BenchmarkTranslateLoopParallel8(b *testing.B)  { loopBench(b, 8, 0) }
+
+// The SimVerify variants charge each verification 2ms of simulated
+// inference latency (the Fig 8b substitution applied to the verifier);
+// the parallel loop overlaps those waits across candidates.
+func BenchmarkTranslateLoopSimVerifySequential(b *testing.B) { loopBench(b, 1, 2*time.Millisecond) }
+func BenchmarkTranslateLoopSimVerifyParallel4(b *testing.B)  { loopBench(b, 4, 2*time.Millisecond) }
+func BenchmarkTranslateLoopSimVerifyParallel8(b *testing.B)  { loopBench(b, 8, 2*time.Millisecond) }

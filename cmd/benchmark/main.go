@@ -21,6 +21,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
 	dev := flag.Int("dev", experiments.DefaultLimits.MaxDev, "max dev examples per benchmark (0 = all)")
 	train := flag.Int("train", experiments.DefaultLimits.MaxTrain, "max train examples for verifier training (0 = all)")
+	parallel := flag.Int("parallel", 1, "concurrent candidate verifications per feedback loop (1 = the paper's sequential loop; results are identical either way)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -33,6 +34,7 @@ func main() {
 	lim := experiments.DefaultLimits
 	lim.MaxDev = *dev
 	lim.MaxTrain = *train
+	lim.Parallelism = *parallel
 
 	ids := experiments.IDs
 	if *exp != "all" {

@@ -26,6 +26,7 @@ func main() {
 	modelName := flag.String("model", "resdsql-3b", "simulated translation model ("+strings.Join(nl2sql.ModelNames(), ", ")+")")
 	question := flag.String("q", "", "natural-language question (must be a benchmark question so the simulated model can translate it)")
 	beam := flag.Int("beam", 8, "candidate beam size")
+	parallel := flag.Int("parallel", 1, "concurrent candidate verifications (1 = the paper's sequential loop; results are identical either way)")
 	flag.Parse()
 
 	bench := datasets.Spider()
@@ -52,6 +53,7 @@ func main() {
 	verifier := experiments.Verifier(experiments.DefaultLimits)
 	pipeline := core.NewPipeline(nl2sql.MustByName(*modelName), verifier, bench.Name)
 	pipeline.BeamSize = *beam
+	pipeline.Parallelism = *parallel
 
 	fmt.Printf("Question: %s\nDatabase: %s   Model: %s\n\n", found.Question, found.DBName, *modelName)
 	res, err := pipeline.Translate(*found, db)
@@ -72,6 +74,9 @@ func main() {
 		if i < len(res.Premises) && res.Premises[i].Explanation != "" {
 			fmt.Printf("  explanation: %s\n", res.Premises[i].Explanation)
 			fmt.Printf("  verifier score: %.3f\n", verifier.Score(found.Question, res.Premises[i]))
+		}
+		if i < len(res.Errors) && res.Errors[i] != "" {
+			fmt.Printf("  feedback failed: %s\n", res.Errors[i])
 		}
 	}
 	fmt.Printf("\nFinal translation (%d iterations, verified=%v):\n  %s\n", res.Iterations, res.Verified, res.FinalSQL)

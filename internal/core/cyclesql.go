@@ -7,6 +7,15 @@
 // candidate whose explanation validates becomes the translation; if none
 // validates, the model's top-1 candidate is returned (paper §V-A1,
 // inference settings).
+//
+// Concurrency: a Pipeline is safe for concurrent Translate calls, and the
+// Parallelism knob additionally verifies the beam candidates of one call
+// concurrently (see Pipeline.Parallelism). Candidates are independent
+// until one validates, so speculative parallel verification commits
+// results in beam order and returns a Result identical to the sequential
+// loop — Iterations still counts candidates in beam order (paper Fig 8a).
+// The stock Feedback and Verifier implementations are safe for concurrent
+// use; custom ones must be too before raising Parallelism above 1.
 package core
 
 import (
@@ -64,21 +73,25 @@ func NewDataGrounded() DataGrounded {
 func (DataGrounded) Name() string { return "cyclesql" }
 
 func (d DataGrounded) explainer(db *storage.Database) *explain.Explainer {
-	if d.shared == nil {
+	build := func() *explain.Explainer {
 		e := explain.New(db)
+		// Polish is fixed at construction: reassigning it on every call
+		// would be a write-on-read of the shared cached explainer, racing
+		// as soon as two goroutines share the feedback. Set d.Polish
+		// before the first Premise call; later changes only affect
+		// explainers built for databases not yet cached.
 		e.Polish = d.Polish
 		return e
 	}
-	e, ok := d.shared.get(db)
-	if !ok {
-		e = explain.New(db)
-		d.shared.put(db, e)
+	if d.shared == nil {
+		return build()
 	}
-	e.Polish = d.Polish
-	return e
+	return d.shared.getOrCreate(db, build)
 }
 
-// Premise implements Feedback.
+// Premise implements Feedback. It is safe for concurrent use: the cached
+// explainers are concurrency-safe and the cache hands concurrent callers
+// one shared explainer per database.
 func (d DataGrounded) Premise(db *storage.Database, stmt *sqlast.SelectStmt, result *sqltypes.Relation) (nli.Premise, error) {
 	e := d.explainer(db)
 	// The paper explains one representative result tuple; the first row is
@@ -104,6 +117,13 @@ type Result struct {
 	// Premises holds the feedback generated per examined candidate, in
 	// order; Premises[i] corresponds to Candidates[i].
 	Premises []nli.Premise
+	// Errors records, per examined candidate, why no premise could be
+	// generated ("" when feedback succeeded): "execute: ..." for SQL that
+	// failed to run, "explain: ..." for feedback generation failures.
+	// Errors[i] corresponds to Candidates[i]. A premise-less candidate can
+	// still become Final through the top-1 fallback, so drivers use this
+	// to distinguish "failed to execute" from "examined but not verified".
+	Errors []string
 	// Overhead is the wall-clock cost of the feedback loop itself
 	// (execution + explanation + verification), excluding model inference.
 	Overhead time.Duration
@@ -117,6 +137,18 @@ type Pipeline struct {
 	Feedback  Feedback
 	BeamSize  int
 	Benchmark string
+
+	// Parallelism bounds how many beam candidates are verified
+	// concurrently within one Translate call. 0 or 1 reproduces the
+	// paper's sequential loop bit for bit; higher values execute, explain
+	// and verify candidates speculatively on a worker pool while results
+	// commit in beam order, so Final, Verified, Iterations, Premises and
+	// Errors are identical to the sequential loop either way. Candidates
+	// after the first (beam-order) validated one are not started; work
+	// already in flight is left to finish and discarded. With Parallelism
+	// > 1 the Feedback and Verifier must be safe for concurrent use (the
+	// implementations in this repository are).
+	Parallelism int
 
 	// execs, when non-nil, keeps one executor per database alive across
 	// Translate calls. Beam candidates are fresh ASTs per call, but their
@@ -134,12 +166,7 @@ func (p *Pipeline) executor(db *storage.Database) *sqleval.Executor {
 	if p.execs == nil {
 		return sqleval.New(db)
 	}
-	if ex, ok := p.execs.get(db); ok {
-		return ex
-	}
-	ex := sqleval.New(db)
-	p.execs.put(db, ex)
-	return ex
+	return p.execs.getOrCreate(db, func() *sqleval.Executor { return sqleval.New(db) })
 }
 
 // NewPipeline returns a pipeline with the paper's inference settings:
@@ -179,34 +206,63 @@ func (p *Pipeline) Translate(ex datasets.Example, db *storage.Database) (*Result
 	// One executor serves every candidate — and, when the pipeline came
 	// from NewPipeline, persists across Translate calls so textually
 	// recurring candidates reuse compiled plans (the cache is keyed by
-	// canonical SQL, not AST identity).
+	// canonical SQL, not AST identity). The executor is safe for
+	// concurrent Exec, so the parallel path shares it across workers.
 	executor := p.executor(db)
+	if p.Parallelism > 1 && len(candidates) > 1 {
+		p.runParallel(res, ex, db, fb, executor, candidates)
+	} else {
+		p.runSequential(res, ex, db, fb, executor, candidates)
+	}
+	if !res.Verified {
+		// No candidate validated: the top-1 candidate is the outcome.
+		res.Final = candidates[0].Stmt
+		res.FinalSQL = candidates[0].SQL
+	}
+	return res, nil
+}
+
+// runSequential is the paper's loop: examine candidates one at a time in
+// beam order, stopping at the first validated one.
+func (p *Pipeline) runSequential(res *Result, ex datasets.Example, db *storage.Database, fb Feedback, executor *sqleval.Executor, candidates []nl2sql.Candidate) {
 	for i, cand := range candidates {
+		o := p.examine(ex.Question, db, fb, executor, cand)
 		res.Iterations = i + 1
-		rel, err := executor.Exec(cand.Stmt)
-		if err != nil {
-			// Invalid SQL can never validate; record an empty premise and
-			// move to the next candidate.
-			res.Premises = append(res.Premises, nli.Premise{SQL: cand.SQL})
-			continue
-		}
-		premise, err := fb.Premise(db, cand.Stmt, rel)
-		if err != nil {
-			res.Premises = append(res.Premises, nli.Premise{SQL: cand.SQL})
-			continue
-		}
-		res.Premises = append(res.Premises, premise)
-		if p.Verifier.Verify(ex.Question, premise) {
+		res.Premises = append(res.Premises, o.premise)
+		res.Errors = append(res.Errors, o.err)
+		if o.verified {
 			res.Final = cand.Stmt
 			res.FinalSQL = cand.SQL
 			res.Verified = true
-			return res, nil
+			return
 		}
 	}
-	// No candidate validated: the top-1 candidate is the outcome.
-	res.Final = candidates[0].Stmt
-	res.FinalSQL = candidates[0].SQL
-	return res, nil
+}
+
+// candOutcome is the result of examining one candidate: its feedback
+// premise (or the error that prevented one) and the verifier's verdict.
+type candOutcome struct {
+	premise  nli.Premise
+	err      string
+	verified bool
+}
+
+// examine runs the execute → explain → verify chain for one candidate.
+// Both the sequential loop and the parallel workers go through it, so the
+// two paths produce identical premises, errors and verdicts by
+// construction.
+func (p *Pipeline) examine(question string, db *storage.Database, fb Feedback, executor *sqleval.Executor, cand nl2sql.Candidate) candOutcome {
+	rel, err := executor.Exec(cand.Stmt)
+	if err != nil {
+		// Invalid SQL can never validate; record an empty premise with the
+		// failure and move on.
+		return candOutcome{premise: nli.Premise{SQL: cand.SQL}, err: "execute: " + err.Error()}
+	}
+	premise, err := fb.Premise(db, cand.Stmt, rel)
+	if err != nil {
+		return candOutcome{premise: nli.Premise{SQL: cand.SQL}, err: "explain: " + err.Error()}
+	}
+	return candOutcome{premise: premise, verified: p.Verifier.Verify(question, premise)}
 }
 
 // Baseline returns the model's unassisted top-1 translation, the "Base"

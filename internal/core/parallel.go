@@ -1,0 +1,77 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"cyclesql/internal/datasets"
+	"cyclesql/internal/nl2sql"
+	"cyclesql/internal/sqleval"
+	"cyclesql/internal/storage"
+)
+
+// runParallel examines beam candidates speculatively on a bounded worker
+// pool while committing outcomes strictly in beam order, preserving the
+// paper's sequential semantics exactly: the first candidate (in beam
+// order) whose explanation validates wins, Iterations counts candidates
+// exactly as the sequential loop does, and Premises/Errors line up with
+// Candidates. Candidates beyond the winner that have not started are
+// cancelled; work already in flight finishes and is discarded — every
+// examine call is a pure read of the database, so discarded work has no
+// side effects beyond warmed caches.
+func (p *Pipeline) runParallel(res *Result, ex datasets.Example, db *storage.Database, fb Feedback, executor *sqleval.Executor, candidates []nl2sql.Candidate) {
+	n := len(candidates)
+	workers := p.Parallelism
+	if workers > n {
+		workers = n
+	}
+
+	// One buffered slot per candidate: workers never block publishing, so
+	// an early win cannot deadlock stragglers, and the committer below
+	// consumes outcomes in beam order regardless of completion order.
+	outcomes := make([]chan candOutcome, n)
+	for i := range outcomes {
+		outcomes[i] = make(chan candOutcome, 1)
+	}
+	var next atomic.Int64 // claim counter: workers take candidates in beam order
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				select {
+				case <-done:
+					return
+				default:
+				}
+				outcomes[i] <- p.examine(ex.Question, db, fb, executor, candidates[i])
+			}
+		}()
+	}
+
+	// Commit in beam order. done only closes after outcomes 0..winner have
+	// all been consumed, so no worker can skip a candidate the committer
+	// still needs.
+	for i := 0; i < n; i++ {
+		o := <-outcomes[i]
+		res.Iterations = i + 1
+		res.Premises = append(res.Premises, o.premise)
+		res.Errors = append(res.Errors, o.err)
+		if o.verified {
+			res.Final = candidates[i].Stmt
+			res.FinalSQL = candidates[i].SQL
+			res.Verified = true
+			close(done)
+			break
+		}
+	}
+	// Wait out in-flight speculation before returning so the caller never
+	// observes background reads against the database after Translate.
+	wg.Wait()
+}

@@ -97,6 +97,7 @@ func Table2(lim Limits) (*Table, error) {
 	for _, modelName := range Table1Models {
 		model := nl2sql.MustByName(modelName)
 		p := core.NewPipeline(model, verifier, bench.Name)
+		p.Parallelism = lim.Parallelism
 		if isLLM(modelName) {
 			p.BeamSize = 5
 		}
@@ -222,6 +223,7 @@ func Fig9(lim Limits) (*Table, error) {
 			var baseOK, cycleOK, sqlOK int
 			pc := core.NewPipeline(model, cycleVerifier, bench.Name)
 			psq := core.NewPipeline(model, sql2nlVerifier, bench.Name)
+			pc.Parallelism, psq.Parallelism = lim.Parallelism, lim.Parallelism
 			psq.Feedback = core.SQL2NLFeedback{}
 			if isLLM(modelName) {
 				pc.BeamSize, psq.BeamSize = 5, 5

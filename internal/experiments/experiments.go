@@ -35,6 +35,11 @@ type Limits struct {
 	MaxDev      int
 	MaxTrain    int
 	TrainModels []string
+	// Parallelism is handed to every pipeline's feedback loop (see
+	// core.Pipeline.Parallelism): 0 or 1 keeps the paper's sequential
+	// candidate loop, higher values verify beam candidates concurrently
+	// with identical results.
+	Parallelism int
 }
 
 // DefaultLimits balances fidelity and runtime for the benchmark harness.
@@ -112,6 +117,7 @@ type PairScores struct {
 func EvaluateModel(b *datasets.Benchmark, modelName string, verifier nli.Verifier, lim Limits) (PairScores, error) {
 	model := nl2sql.MustByName(modelName)
 	p := core.NewPipeline(model, verifier, b.Name)
+	p.Parallelism = lim.Parallelism
 	if isLLM(modelName) {
 		p.BeamSize = 5 // the paper's chat-completion n parameter
 	}

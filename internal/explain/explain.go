@@ -17,6 +17,7 @@ package explain
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"cyclesql/internal/annotate"
 	"cyclesql/internal/provenance"
@@ -39,12 +40,16 @@ type Explanation struct {
 	Prov    *provenance.Provenance
 }
 
-// Explainer generates explanations against one database. It is not safe
-// for concurrent use: the in-flight provenance is threaded through
-// currentProv, matching the paper's sequential per-candidate loop.
+// Explainer generates explanations against one database. It is safe for
+// concurrent use once DB and Polish are set: the in-flight provenance is
+// passed explicitly through the generation call chain (no per-explanation
+// state lives on the struct), and the shared tracker guards its own
+// memoization — so the CycleSQL loop can explain beam candidates in
+// parallel through one cached explainer. Set DB and Polish before the
+// first Explain and leave them unchanged afterwards.
 type Explainer struct {
 	DB     *storage.Database
-	Polish Polisher // optional
+	Polish Polisher // optional; set before first use
 
 	// tracker persists across Explain calls so repeated explanations
 	// against the same database reuse compiled provenance statements —
@@ -52,9 +57,10 @@ type Explainer struct {
 	// cache on canonical SQL, so textually identical candidates share
 	// work even when every beam hands over a fresh AST. Callers that
 	// alternate databases cache whole explainers instead (see
-	// core.DataGrounded).
-	tracker     *provenance.Tracker
-	currentProv *provenance.Provenance
+	// core.DataGrounded). mu guards the lazy (re)initialization for
+	// explainers constructed without New.
+	mu      sync.Mutex
+	tracker *provenance.Tracker
 }
 
 // New returns an Explainer over db with no polisher.
@@ -66,20 +72,29 @@ func New(db *storage.Database) *Explainer {
 // the output of executing stmt against e.DB. For empty results the
 // explanation is generated from operation-level semantics alone.
 func (e *Explainer) Explain(stmt *sqlast.SelectStmt, result *sqltypes.Relation, rowIdx int) (*Explanation, error) {
-	if e.tracker == nil || e.tracker.DB() != e.DB {
-		e.tracker = provenance.NewTracker(e.DB)
-	}
-	prov, err := e.tracker.Track(stmt, result, rowIdx)
+	prov, err := e.trackerFor().Track(stmt, result, rowIdx)
 	if err != nil {
 		return nil, err
 	}
 	return e.FromProvenance(prov)
 }
 
+// trackerFor returns the persistent tracker, lazily (re)building it for
+// explainers constructed without New or rebound to another database. The
+// lock makes the one-time initialization safe under concurrent Explain.
+func (e *Explainer) trackerFor() *provenance.Tracker {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.tracker == nil || e.tracker.DB() != e.DB {
+		e.tracker = provenance.NewTracker(e.DB)
+	}
+	return e.tracker
+}
+
 // FromProvenance generates the explanation from already-tracked provenance.
+// The provenance is threaded explicitly through the generation chain, so
+// concurrent calls on one Explainer never observe each other's tuples.
 func (e *Explainer) FromProvenance(prov *provenance.Provenance) (*Explanation, error) {
-	e.currentProv = prov
-	defer func() { e.currentProv = nil }()
 	ann := annotate.Annotate(prov)
 	out := &Explanation{Prov: prov}
 	out.Summary = e.summary(prov)
@@ -91,7 +106,7 @@ func (e *Explainer) FromProvenance(prov *provenance.Provenance) (*Explanation, e
 	} else {
 		for i, part := range prov.Parts {
 			g := provgraph.Build(part, ann.Parts[i])
-			out.Steps = append(out.Steps, e.phraseStep(part, g))
+			out.Steps = append(out.Steps, e.phraseStep(prov, part, g))
 		}
 	}
 	out.Text = e.compose(prov, out.Summary, out.Steps)
@@ -132,8 +147,10 @@ func (e *Explainer) summary(prov *provenance.Provenance) string {
 
 // phraseStep implements GENERATE-PHRASE + the per-part portion of
 // COMPOSE-PHRASE for one provenance part, traversing the provenance graph
-// and verbalizing each labeled element.
-func (e *Explainer) phraseStep(part provenance.Part, g *provgraph.Graph) string {
+// and verbalizing each labeled element. prov is the in-flight provenance
+// the part belongs to; it rides along so aggregate phrases can ground
+// themselves in the to-explain result tuple.
+func (e *Explainer) phraseStep(prov *provenance.Provenance, part provenance.Part, g *provgraph.Graph) string {
 	core := part.Core
 	var tableNames []string
 	for _, t := range core.Tables() {
@@ -162,7 +179,7 @@ func (e *Explainer) phraseStep(part provenance.Part, g *provgraph.Graph) string 
 	entity := headEntity(e.DB, core)
 	var tails []string
 	for _, lab := range tableNode.Labels {
-		if phrase := e.tablePhrase(lab, part, entity); phrase != "" {
+		if phrase := e.tablePhrase(prov, lab, part, entity); phrase != "" {
 			tails = append(tails, phrase)
 		}
 	}
@@ -171,7 +188,7 @@ func (e *Explainer) phraseStep(part provenance.Part, g *provgraph.Graph) string 
 	for _, col := range g.Columns() {
 		for _, lab := range col.Labels {
 			if lab.Kind == annotate.KindAggregate {
-				if phrase := e.tablePhrase(lab, part, entity); phrase != "" {
+				if phrase := e.tablePhrase(prov, lab, part, entity); phrase != "" {
 					tails = append(tails, phrase)
 				}
 			}
@@ -261,7 +278,7 @@ func (e *Explainer) groundedColumnPhrase(col *provgraph.Node, lab annotate.Annot
 }
 
 // tablePhrase verbalizes one table-level label.
-func (e *Explainer) tablePhrase(lab annotate.Annotation, part provenance.Part, entity string) string {
+func (e *Explainer) tablePhrase(prov *provenance.Provenance, lab annotate.Annotation, part provenance.Part, entity string) string {
 	rows := 0
 	if part.Table != nil {
 		rows = part.Table.NumRows()
@@ -270,7 +287,7 @@ func (e *Explainer) tablePhrase(lab annotate.Annotation, part provenance.Part, e
 	case annotate.KindAggregate:
 		fn := lab.Detail["func"]
 		arg := lab.Detail["arg"]
-		resultVal := e.aggregateResultValue(part, lab)
+		resultVal := e.aggregateResultValue(prov, part, lab)
 		switch fn {
 		case "count":
 			noun := pluralNoun(entity)
@@ -328,27 +345,25 @@ func (e *Explainer) tablePhrase(lab annotate.Annotation, part provenance.Part, e
 // aggregateResultValue resolves the concrete value of an aggregate label:
 // the matching column of the to-explain result tuple when identifiable,
 // else the recomputed aggregate over the provenance rows.
-func (e *Explainer) aggregateResultValue(part provenance.Part, lab annotate.Annotation) string {
-	prov := part.Table
+func (e *Explainer) aggregateResultValue(prov *provenance.Provenance, part provenance.Part, lab annotate.Annotation) string {
+	table := part.Table
 	// Find the aggregate's position among the core's items and take the
 	// corresponding result value if the result tuple aligns.
 	fn, arg := lab.Detail["func"], lab.Detail["arg"]
-	if res := e.lookupResultAggregate(part.Core, fn, arg); res != "" {
+	if res := lookupResultAggregate(prov, part.Core, fn, arg); res != "" {
 		return res
 	}
-	if prov != nil && fn == "count" {
-		return fmt.Sprintf("%d", prov.NumRows())
+	if table != nil && fn == "count" {
+		return fmt.Sprintf("%d", table.NumRows())
 	}
 	return "the computed value"
 }
 
-// resultRow is attached by FromProvenance through the Part's core; the
-// provenance package keeps the original result on the Provenance struct,
-// so the Explainer closes over it via the field below.
-func (e *Explainer) lookupResultAggregate(core *sqlast.SelectCore, fn, arg string) string {
-	// The Provenance carries the result tuple; it is threaded through
-	// package state on the current explanation.
-	if e.currentProv == nil || len(e.currentProv.Result) == 0 {
+// lookupResultAggregate aligns an aggregate label with the to-explain
+// result tuple the Provenance carries, returning the concrete value of the
+// matching projection column (or "" when no item aligns).
+func lookupResultAggregate(prov *provenance.Provenance, core *sqlast.SelectCore, fn, arg string) string {
+	if prov == nil || len(prov.Result) == 0 {
 		return ""
 	}
 	for i, it := range core.Items {
@@ -361,8 +376,8 @@ func (e *Explainer) lookupResultAggregate(core *sqlast.SelectCore, fn, arg strin
 			gotArg = sqlast.ExprSQL(f.Args[0])
 		}
 		if strings.EqualFold(f.Name, fn) && (gotArg == arg || arg == "") {
-			if i < len(e.currentProv.Result) {
-				return e.currentProv.Result[i].String()
+			if i < len(prov.Result) {
+				return prov.Result[i].String()
 			}
 		}
 	}

@@ -2,11 +2,14 @@ package explain
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"cyclesql/internal/datasets"
+	"cyclesql/internal/sqlast"
 	"cyclesql/internal/sqleval"
 	"cyclesql/internal/sqlparse"
+	"cyclesql/internal/sqltypes"
 	"cyclesql/internal/storage"
 )
 
@@ -217,4 +220,59 @@ func TestPluralNoun(t *testing.T) {
 			t.Errorf("pluralNoun(%q) = %q want %q", in, got, want)
 		}
 	}
+}
+
+// TestExplainerConcurrentUse shares one Explainer across goroutines
+// explaining different statements at once — the parallel-candidate
+// scenario — and requires every goroutine to see exactly the text the
+// sequential path produces. Run under -race it also gates the removal of
+// the explainer's in-flight provenance field.
+func TestExplainerConcurrentUse(t *testing.T) {
+	db := datasets.FlightDB()
+	queries := []string{
+		"SELECT count(*) FROM flight AS T1 JOIN aircraft AS T2 ON T1.aid = T2.aid WHERE T2.name = 'Airbus A340-300'",
+		"SELECT flno FROM flight WHERE origin = 'Los Angeles'",
+		"SELECT name FROM aircraft WHERE distance > 5000",
+		"SELECT count(*) FROM aircraft",
+	}
+	type prepared struct {
+		stmt *sqlast.SelectStmt
+		rel  *sqltypes.Relation
+		want string
+	}
+	seq := New(db)
+	cases := make([]prepared, len(queries))
+	for i, q := range queries {
+		stmt := sqlparse.MustParse(q)
+		rel, err := sqleval.New(db).Exec(stmt)
+		if err != nil {
+			t.Fatalf("exec %q: %v", q, err)
+		}
+		exp, err := seq.Explain(stmt, rel, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases[i] = prepared{stmt: stmt, rel: rel, want: exp.Text}
+	}
+	shared := New(db)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c := cases[(g+i)%len(cases)]
+				exp, err := shared.Explain(c.stmt, c.rel, 0)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if exp.Text != c.want {
+					t.Errorf("concurrent explanation diverged:\nwant %s\ngot  %s", c.want, exp.Text)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }

@@ -21,6 +21,7 @@ package provenance
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"cyclesql/internal/sqlast"
 	"cyclesql/internal/sqleval"
@@ -58,10 +59,16 @@ const RowLimit = 64
 // CycleSQL loop explains candidates repeatedly during training and
 // experiments), including through a textually identical core arriving as a
 // distinct AST from another beam, reuses the compiled statement instead of
-// rebuilding and recompiling it. A Tracker is not safe for concurrent use.
+// rebuilding and recompiling it. A Tracker is safe for concurrent Track
+// calls: the memo maps are guarded by a mutex and the executor is safe for
+// concurrent Exec, so parallel beam candidates can share one tracker.
 type Tracker struct {
-	db       *storage.Database
-	ex       *sqleval.Executor
+	db *storage.Database
+	ex *sqleval.Executor
+	// mu guards the two memo maps below; rewrites themselves are immutable
+	// once published (the executor never mutates statements), so concurrent
+	// Track calls share them freely.
+	mu       sync.Mutex
 	rewrites map[rewriteKey]*sqlast.SelectStmt
 	// coreSQL memoizes the rendered SQL per core AST, so the common case —
 	// re-tracking the same candidate object — skips the O(core) render
@@ -121,6 +128,7 @@ func (t *Tracker) Track(stmt *sqlast.SelectStmt, result *sqltypes.Relation, rowI
 	return p, nil
 }
 
+// coreKey must be called with t.mu held.
 func (t *Tracker) coreKey(core *sqlast.SelectCore) string {
 	if s, ok := t.coreSQL[core]; ok {
 		return s
@@ -136,6 +144,11 @@ func (t *Tracker) coreKey(core *sqlast.SelectCore) string {
 }
 
 func (t *Tracker) rewrite(core *sqlast.SelectCore, result sqltypes.Row) *sqlast.SelectStmt {
+	// The whole memo round-trip runs under the lock; RewriteCore is a
+	// cheap AST clone next to executing the provenance query, so a finer
+	// lock would buy nothing.
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	k := rewriteKey{core: t.coreKey(core), row: string(result.AppendKey(nil))}
 	if rw, ok := t.rewrites[k]; ok {
 		return rw

@@ -55,11 +55,15 @@ func (s *scope) resolve(table, column string) (depth, idx int, ok bool) {
 // rowCtx is the runtime environment a compiled expression evaluates in:
 // the current flat frame row, the enclosing query's context for correlated
 // references, and — during grouped projection — the rows of the current
-// group for aggregate closures.
+// group for aggregate closures. depth carries the subquery nesting of the
+// core being executed so subquery closures can recurse with the right
+// bound; keeping it here (instead of on the executor) is what lets one
+// executor run concurrent executions without shared mutable state.
 type rowCtx struct {
 	row    sqltypes.Row
 	parent *rowCtx
 	grp    *groupRows
+	depth  int
 }
 
 // groupRows carries one group's member rows into aggregate closures.
@@ -127,9 +131,9 @@ type scanProbe struct {
 	key []byte
 }
 
-func (ts *tableScan) rows(ex *Executor, outer *rowCtx) ([]sqltypes.Row, bool, error) {
+func (ts *tableScan) rows(ex *Executor, outer *rowCtx, depth int) ([]sqltypes.Row, bool, error) {
 	if ts.sub != nil {
-		rel, err := ex.runProgram(ts.sub, outer)
+		rel, err := ex.runProgram(ts.sub, outer, depth+1)
 		if err != nil {
 			return nil, false, err
 		}

@@ -23,10 +23,19 @@
 // as a distinct AST from another beam — skips straight to execution.
 // Statements must not be mutated between executions through the same
 // executor.
+//
+// An Executor is safe for concurrent Exec calls: execution state (the
+// subquery-depth guard, row contexts, scratch buffers) lives on the call
+// stack, the plan cache is guarded by a read-mostly lock, and the storage
+// layer guards its lazy index builds. The NestedLoopOnly and NoIndexes
+// flags must be set before the first Exec and not changed afterwards, and
+// the database contents must not be mutated while executions are in
+// flight (the store itself documents the same reader/writer contract).
 package sqleval
 
 import (
 	"fmt"
+	"sync"
 
 	"cyclesql/internal/sqlast"
 	"cyclesql/internal/sqlnorm"
@@ -37,8 +46,9 @@ import (
 // Executor evaluates SELECT statements against one database.
 type Executor struct {
 	db *storage.Database
-	// depth guards against pathological recursion from corrupted queries.
-	depth int
+	// mu guards the two plan maps; compiled plans themselves are immutable
+	// after compilation, so concurrent executions share them freely.
+	mu sync.RWMutex
 	// plans caches compiled programs by statement identity (the fast path
 	// for re-executing the same AST), plansByKey by canonical SQL, so
 	// textually identical statements arriving as distinct ASTs share one
@@ -76,18 +86,25 @@ func (ex *Executor) Exec(stmt *sqlast.SelectStmt) (*sqltypes.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return ex.runProgram(prog, nil)
+	return ex.runProgram(prog, nil, 1)
 }
 
 func (ex *Executor) compiled(stmt *sqlast.SelectStmt) (*program, error) {
+	ex.mu.RLock()
 	if p, ok := ex.plans[stmt]; ok {
+		ex.mu.RUnlock()
 		return p, nil
 	}
 	key := sqlnorm.CacheKey(stmt)
-	if p, ok := ex.plansByKey[key]; ok {
+	p, ok := ex.plansByKey[key]
+	ex.mu.RUnlock()
+	if ok {
 		ex.storePlan(stmt, key, p)
 		return p, nil
 	}
+	// Compile outside the lock; concurrent compilations of the same
+	// statement are idempotent (programs are interchangeable), the last
+	// store wins.
 	c := &compiler{ex: ex}
 	p, err := c.compileStmt(stmt, nil)
 	if err != nil {
@@ -98,6 +115,8 @@ func (ex *Executor) compiled(stmt *sqlast.SelectStmt) (*program, error) {
 }
 
 func (ex *Executor) storePlan(stmt *sqlast.SelectStmt, key string, p *program) {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
 	if ex.plans == nil {
 		ex.plans = make(map[*sqlast.SelectStmt]*program)
 		ex.plansByKey = make(map[string]*program)
@@ -109,18 +128,20 @@ func (ex *Executor) storePlan(stmt *sqlast.SelectStmt, key string, p *program) {
 	ex.plansByKey[key] = p
 }
 
-func (ex *Executor) runProgram(p *program, outer *rowCtx) (*sqltypes.Relation, error) {
-	ex.depth++
-	defer func() { ex.depth-- }()
-	if ex.depth > maxSubqueryDepth {
+// runProgram executes a compiled program. depth is the current subquery
+// nesting (1 for a top-level statement); it threads through the call chain
+// — and into row contexts, for subquery closures — instead of living on
+// the executor, so concurrent executions cannot observe each other.
+func (ex *Executor) runProgram(p *program, outer *rowCtx, depth int) (*sqltypes.Relation, error) {
+	if depth > maxSubqueryDepth {
 		return nil, fmt.Errorf("sqleval: subquery nesting exceeds %d", maxSubqueryDepth)
 	}
-	result, err := ex.runCore(p.cores[0], outer)
+	result, err := ex.runCore(p.cores[0], outer, depth)
 	if err != nil {
 		return nil, err
 	}
 	for i, op := range p.ops {
-		rhs, err := ex.runCore(p.cores[i+1], outer)
+		rhs, err := ex.runCore(p.cores[i+1], outer, depth)
 		if err != nil {
 			return nil, err
 		}
@@ -192,8 +213,8 @@ func combine(l, r *sqltypes.Relation, op sqlast.CompoundOp) (*sqltypes.Relation,
 	return out, nil
 }
 
-func (ex *Executor) runCore(cc *compiledCore, outer *rowCtx) (*sqltypes.Relation, error) {
-	rows, owned, err := ex.buildFrom(cc, outer)
+func (ex *Executor) runCore(cc *compiledCore, outer *rowCtx, depth int) (*sqltypes.Relation, error) {
+	rows, owned, err := ex.buildFrom(cc, outer, depth)
 	if err != nil {
 		return nil, err
 	}
@@ -202,7 +223,7 @@ func (ex *Executor) runCore(cc *compiledCore, outer *rowCtx) (*sqltypes.Relation
 		if !owned {
 			kept = rows[:0:0]
 		}
-		ctx := &rowCtx{parent: outer}
+		ctx := &rowCtx{parent: outer, depth: depth}
 		for _, row := range rows {
 			ctx.row = row
 			ok, err := truthyAll(cc.filters, ctx)
@@ -216,9 +237,9 @@ func (ex *Executor) runCore(cc *compiledCore, outer *rowCtx) (*sqltypes.Relation
 		rows = kept
 	}
 	if len(cc.groupBy) > 0 || cc.hasAgg {
-		return ex.projectGrouped(cc, rows, outer)
+		return ex.projectGrouped(cc, rows, outer, depth)
 	}
-	return ex.projectPlain(cc, rows, outer)
+	return ex.projectPlain(cc, rows, outer, depth)
 }
 
 // truthyAll reports whether every conjunct evaluates truthy (tri-state AND
@@ -241,12 +262,12 @@ func truthyAll(filters []compiledExpr, ctx *rowCtx) (bool, error) {
 // pushed-down conjuncts) joined with each subsequent table. The returned
 // flag reports whether the slice is owned by the caller (safe to filter in
 // place) or shared with the storage layer.
-func (ex *Executor) buildFrom(cc *compiledCore, outer *rowCtx) ([]sqltypes.Row, bool, error) {
+func (ex *Executor) buildFrom(cc *compiledCore, outer *rowCtx, depth int) ([]sqltypes.Row, bool, error) {
 	if len(cc.scans) == 0 {
 		// SELECT without FROM evaluates items once over an empty row.
 		return []sqltypes.Row{{}}, true, nil
 	}
-	rows, owned, err := cc.scans[0].rows(ex, outer)
+	rows, owned, err := cc.scans[0].rows(ex, outer, depth)
 	if err != nil {
 		return nil, false, err
 	}
@@ -255,7 +276,7 @@ func (ex *Executor) buildFrom(cc *compiledCore, outer *rowCtx) ([]sqltypes.Row, 
 		if !owned {
 			kept = rows[:0:0]
 		}
-		ctx := &rowCtx{parent: outer}
+		ctx := &rowCtx{parent: outer, depth: depth}
 		for _, row := range rows {
 			ctx.row = row
 			ok, err := truthyAll(cc.baseFilters, ctx)
@@ -271,11 +292,11 @@ func (ex *Executor) buildFrom(cc *compiledCore, outer *rowCtx) ([]sqltypes.Row, 
 	accW := cc.scans[0].width
 	for i, jp := range cc.joins {
 		next := cc.scans[i+1]
-		right, _, err := next.rows(ex, outer)
+		right, _, err := next.rows(ex, outer, depth)
 		if err != nil {
 			return nil, false, err
 		}
-		rows, err = ex.execJoin(rows, accW, next, right, jp, outer)
+		rows, err = ex.execJoin(rows, accW, next, right, jp, outer, depth)
 		if err != nil {
 			return nil, false, err
 		}
@@ -294,10 +315,10 @@ func (ex *Executor) buildFrom(cc *compiledCore, outer *rowCtx) ([]sqltypes.Row, 
 // (left-major, right rows in scan order) and null-extend unmatched left
 // rows inline for LEFT JOIN, matching rows by index — never by value — so
 // duplicate-valued rows cannot collide.
-func (ex *Executor) execJoin(acc []sqltypes.Row, accW int, next *tableScan, right []sqltypes.Row, jp *joinPlan, outer *rowCtx) ([]sqltypes.Row, error) {
+func (ex *Executor) execJoin(acc []sqltypes.Row, accW int, next *tableScan, right []sqltypes.Row, jp *joinPlan, outer *rowCtx, depth int) ([]sqltypes.Row, error) {
 	outW := accW + next.width
 	scratch := make(sqltypes.Row, outW)
-	ctx := &rowCtx{parent: outer, row: scratch}
+	ctx := &rowCtx{parent: outer, row: scratch, depth: depth}
 	var out []sqltypes.Row
 
 	emit := func() {

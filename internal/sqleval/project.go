@@ -12,9 +12,9 @@ type record struct {
 	keys sqltypes.Row
 }
 
-func (ex *Executor) projectPlain(cc *compiledCore, rows []sqltypes.Row, outer *rowCtx) (*sqltypes.Relation, error) {
+func (ex *Executor) projectPlain(cc *compiledCore, rows []sqltypes.Row, outer *rowCtx, depth int) (*sqltypes.Relation, error) {
 	records := make([]record, 0, len(rows))
-	ctx := &rowCtx{parent: outer}
+	ctx := &rowCtx{parent: outer, depth: depth}
 	for _, row := range rows {
 		ctx.row = row
 		rec, err := projectRecord(cc, ctx)
@@ -26,7 +26,7 @@ func (ex *Executor) projectPlain(cc *compiledCore, rows []sqltypes.Row, outer *r
 	return finalize(cc, records)
 }
 
-func (ex *Executor) projectGrouped(cc *compiledCore, rows []sqltypes.Row, outer *rowCtx) (*sqltypes.Relation, error) {
+func (ex *Executor) projectGrouped(cc *compiledCore, rows []sqltypes.Row, outer *rowCtx, depth int) (*sqltypes.Relation, error) {
 	// Partition rows into groups, keyed by the binary encoding of the
 	// GROUP BY values; insertion order is preserved.
 	var groups []groupRows
@@ -34,7 +34,7 @@ func (ex *Executor) projectGrouped(cc *compiledCore, rows []sqltypes.Row, outer 
 		groups = []groupRows{{rows: rows}}
 	} else {
 		idx := make(map[string]int)
-		ctx := &rowCtx{parent: outer}
+		ctx := &rowCtx{parent: outer, depth: depth}
 		var buf []byte
 		for _, row := range rows {
 			ctx.row = row
@@ -56,7 +56,7 @@ func (ex *Executor) projectGrouped(cc *compiledCore, rows []sqltypes.Row, outer 
 		}
 	}
 	records := make([]record, 0, len(groups))
-	ctx := &rowCtx{parent: outer}
+	ctx := &rowCtx{parent: outer, depth: depth}
 	for gi := range groups {
 		g := &groups[gi]
 		if len(g.rows) == 0 {

@@ -13,6 +13,12 @@
 //
 // NULL values are never indexed: the = operator is NULL-rejecting, so a
 // probe must not return NULL rows and a NULL probe key matches nothing.
+//
+// Lazy builds are safe under concurrent readers: Index publishes built
+// indexes under the database's lock with a double-check, so parallel
+// queries racing on a cold index either share one build or briefly build
+// interchangeable copies. Lookup stays lock-free — a published index is
+// immutable until the next write, and writes require reader exclusion.
 package storage
 
 import (
@@ -77,28 +83,40 @@ func (ix *ColumnIndex) add(row sqltypes.Row, pos int) {
 // Index returns the hash index for one column of a table, building it on
 // first use. It returns nil for unknown tables or out-of-range columns.
 // The index stays valid until the next Mutate; Insert maintains it in
-// place. Like the rest of the store, indexes are not safe for concurrent
-// use.
+// place. Index is safe to call from concurrent readers: the lazy build is
+// double-checked under the database lock, so racing probes either share
+// the published index or build interchangeable copies of which one wins.
 func (db *Database) Index(table string, col int) *ColumnIndex {
 	rel := db.Table(table)
 	if rel == nil || col < 0 || col >= len(rel.Columns) {
 		return nil
 	}
 	name := strings.ToLower(table)
+	db.mu.RLock()
+	ix := db.indexes[name][col]
+	db.mu.RUnlock()
+	if ix != nil && ix.rows == len(rel.Rows) {
+		return ix
+	}
+	// Build outside the write lock — construction only reads the relation,
+	// which is stable while readers are active — then publish under it.
+	built := buildColumnIndex(rel, col)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if ix := db.indexes[name][col]; ix != nil && ix.rows == len(rel.Rows) {
+		// Another goroutine published an up-to-date index first; share it.
+		return ix
+	}
+	if db.indexes == nil {
+		db.indexes = make(map[string]map[int]*ColumnIndex)
+	}
 	byCol := db.indexes[name]
 	if byCol == nil {
-		if db.indexes == nil {
-			db.indexes = make(map[string]map[int]*ColumnIndex)
-		}
 		byCol = make(map[int]*ColumnIndex)
 		db.indexes[name] = byCol
 	}
-	ix := byCol[col]
-	if ix == nil || ix.rows != len(rel.Rows) {
-		ix = buildColumnIndex(rel, col)
-		byCol[col] = ix
-	}
-	return ix
+	byCol[col] = built
+	return built
 }
 
 // HasIndex reports whether a built index currently exists for the column.
@@ -108,12 +126,18 @@ func (db *Database) HasIndex(table string, col int) bool {
 	if rel == nil {
 		return false
 	}
+	db.mu.RLock()
 	ix := db.indexes[strings.ToLower(table)][col]
+	db.mu.RUnlock()
 	return ix != nil && ix.rows == len(rel.Rows)
 }
 
 // maintainIndexes folds one inserted row into the table's built indexes.
+// Insert already requires exclusion from readers; the lock here orders the
+// map access against concurrent lazy builds on other tables.
 func (db *Database) maintainIndexes(table string, row sqltypes.Row, pos int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	for _, ix := range db.indexes[strings.ToLower(table)] {
 		ix.add(row, pos)
 	}
@@ -121,5 +145,7 @@ func (db *Database) maintainIndexes(table string, row sqltypes.Row, pos int) {
 
 // invalidateIndexes drops every built index; the next probe rebuilds.
 func (db *Database) invalidateIndexes() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	db.indexes = nil
 }

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"sync"
 	"testing"
 
 	"cyclesql/internal/schema"
@@ -155,5 +156,40 @@ func TestIndexRebuiltOnDirectAppend(t *testing.T) {
 	db.Table("Item").Append(sqltypes.Row{sqltypes.NewInt(9), sqltypes.NewText("b"), sqltypes.Null()})
 	if got := lookupVal(db, "Item", 1, sqltypes.NewText("b")); len(got) != 2 {
 		t.Fatalf("tag=b rows after direct append: %v", got)
+	}
+}
+
+// TestIndexConcurrentLazyBuild races many readers on cold indexes: every
+// goroutine must observe a complete, correct index whether it built one
+// itself or caught another goroutine's publication. Run under -race this
+// is the regression gate for the guarded lazy build.
+func TestIndexConcurrentLazyBuild(t *testing.T) {
+	db := indexDB(t)
+	// Precompute the probe key on the test goroutine: workers must not
+	// call t.Fatal.
+	keyA, ok := sqltypes.NewText("a").AppendCompareKey(nil)
+	if !ok {
+		t.Fatal("unexpected null key")
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				ix := db.Index("Item", 1)
+				if got := len(ix.Lookup(keyA)); got != 2 {
+					t.Errorf("tag=a rows = %d, want 2", got)
+				}
+				if ix2 := db.Index("item", 2); ix2.Distinct() != 2 {
+					t.Errorf("score distinct = %d, want 2", ix2.Distinct())
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// All goroutines settled: exactly one index per column is published.
+	if !db.HasIndex("Item", 1) || !db.HasIndex("Item", 2) {
+		t.Fatal("indexes must remain published after concurrent builds")
 	}
 }

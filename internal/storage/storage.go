@@ -4,11 +4,19 @@
 //
 // Databases are cheap to clone, which the test-suite accuracy metric uses
 // to build distilled database variants (paper §V-A1, "test suite accuracy").
+//
+// Concurrency: a Database is safe for concurrent readers — queries may
+// scan tables and build or probe the lazy secondary indexes from any
+// number of goroutines (index.go guards the lazy builds). Writers
+// (Insert, MustInsert, Mutate) still require exclusion from readers and
+// from each other: they mutate relation contents in place, and a query
+// racing a row append would read a torn table.
 package storage
 
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"cyclesql/internal/schema"
 	"cyclesql/internal/sqltypes"
@@ -19,6 +27,11 @@ import (
 type Database struct {
 	Schema *schema.Schema
 	tables map[string]*sqltypes.Relation
+	// mu guards the indexes map: concurrent queries trigger lazy index
+	// builds, and publishing a built index must be ordered before other
+	// goroutines probe it. Built ColumnIndexes are immutable between
+	// writes, so probes run outside the lock.
+	mu sync.RWMutex
 	// indexes holds the built column indexes per lower-cased table name.
 	// nil until the first probe; dropped wholesale on Mutate.
 	indexes map[string]map[int]*ColumnIndex
