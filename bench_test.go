@@ -9,6 +9,7 @@
 package cyclesql
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"testing"
@@ -41,7 +42,7 @@ func runExperiment(b *testing.B, id string) *experiments.Table {
 	var table *experiments.Table
 	var err error
 	for i := 0; i < b.N; i++ {
-		table, err = experiments.Registry[id](benchLimits)
+		table, err = experiments.Registry[id](context.Background(), benchLimits)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -293,7 +294,7 @@ func loopBench(b *testing.B, parallelism int, verifyLatency time.Duration) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, ex := range dev {
-			res, err := p.Translate(ex, bench.DB(ex.DBName))
+			res, err := p.Translate(context.Background(), ex, bench.DB(ex.DBName))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -316,3 +317,59 @@ func BenchmarkTranslateLoopParallel8(b *testing.B)  { loopBench(b, 8, 0) }
 func BenchmarkTranslateLoopSimVerifySequential(b *testing.B) { loopBench(b, 1, 2*time.Millisecond) }
 func BenchmarkTranslateLoopSimVerifyParallel4(b *testing.B)  { loopBench(b, 4, 2*time.Millisecond) }
 func BenchmarkTranslateLoopSimVerifyParallel8(b *testing.B)  { loopBench(b, 8, 2*time.Millisecond) }
+
+// ---- Batched sweep benches (PR 4, BENCH_PR4.json) ----
+
+// sweepBench measures the end-to-end wall-clock of sweeping a fixed dev
+// slice through the feedback loop on the batched experiment runner —
+// the workload the table-regeneration drivers run per model. Like
+// loopBench, verifyLatency charges each Verify call the documented
+// per-inference latency (Fig 8b's substitution applied to the verifier);
+// the batch runner overlaps those waits across examples, which is where
+// the worker-count speedup comes from on boxes with fewer cores than
+// workers. The reject-all verifier exhausts every beam, making the sweep
+// cost deterministic across worker counts.
+func sweepBench(b *testing.B, workers int, verifyLatency time.Duration) {
+	bench := datasets.Spider()
+	dev := bench.Dev[:24]
+	reject := nli.Func{Label: "reject-all", Fn: func(string, nli.Premise) bool {
+		if verifyLatency > 0 {
+			time.Sleep(verifyLatency)
+		}
+		return false
+	}}
+	p := core.NewPipeline(nl2sql.MustByName("resdsql-3b"), reject, bench.Name)
+	batch := experiments.Batch{Workers: workers}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := make([]*core.Result, len(dev))
+		errs := batch.Run(context.Background(), len(dev), func(ctx context.Context, j int) error {
+			res, err := p.Translate(ctx, dev[j], bench.DB(dev[j].DBName))
+			if err != nil {
+				return err
+			}
+			results[j] = res
+			return nil
+		})
+		for j, err := range errs {
+			if err != nil {
+				b.Fatalf("example %d: %v", j, err)
+			}
+			if results[j].Iterations != len(results[j].Candidates) {
+				b.Fatalf("reject-all must exhaust the beam on example %d", j)
+			}
+		}
+	}
+}
+
+func BenchmarkSweepWorkers1(b *testing.B) { sweepBench(b, 1, 0) }
+func BenchmarkSweepWorkers4(b *testing.B) { sweepBench(b, 4, 0) }
+func BenchmarkSweepWorkers8(b *testing.B) { sweepBench(b, 8, 0) }
+
+// The SimVerify variants charge each verification 2ms of simulated
+// inference latency; 8 workers overlap eight examples' verifier waits,
+// cutting sweep wall-clock roughly by the worker count until cores (for
+// the CPU-bound part) or the per-example critical path binds.
+func BenchmarkSweepSimVerifyWorkers1(b *testing.B) { sweepBench(b, 1, 2*time.Millisecond) }
+func BenchmarkSweepSimVerifyWorkers4(b *testing.B) { sweepBench(b, 4, 2*time.Millisecond) }
+func BenchmarkSweepSimVerifyWorkers8(b *testing.B) { sweepBench(b, 8, 2*time.Millisecond) }

@@ -5,10 +5,20 @@
 //	benchmark -exp table1            # one experiment
 //	benchmark -exp all               # everything, in paper order
 //	benchmark -exp table2 -dev 120   # bound the dev examples per benchmark
+//	benchmark -exp table1 -workers 8 # sweep 8 dev examples concurrently
 //	benchmark -list                  # list experiment ids
+//
+// The two parallelism knobs compose: -workers overlaps whole dev examples
+// (the batch runner), -parallel overlaps the beam candidates within each
+// example's feedback loop. Both leave every accuracy and iteration column
+// bit-identical to the sequential sweep; only measured-wall-clock columns
+// (Fig 8b's overhead) vary, as they do run to run regardless. -timeout
+// bounds one example's wall clock; an example that exceeds it fails the
+// run with a deadline error instead of hanging the regeneration.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +32,8 @@ func main() {
 	dev := flag.Int("dev", experiments.DefaultLimits.MaxDev, "max dev examples per benchmark (0 = all)")
 	train := flag.Int("train", experiments.DefaultLimits.MaxTrain, "max train examples for verifier training (0 = all)")
 	parallel := flag.Int("parallel", 1, "concurrent candidate verifications per feedback loop (1 = the paper's sequential loop; results are identical either way)")
+	workers := flag.Int("workers", 1, "concurrent dev examples per experiment sweep (1 = sequential; tables are identical either way)")
+	timeout := flag.Duration("timeout", 0, "per-example wall-clock budget (0 = none), e.g. 30s")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -35,6 +47,8 @@ func main() {
 	lim.MaxDev = *dev
 	lim.MaxTrain = *train
 	lim.Parallelism = *parallel
+	lim.Workers = *workers
+	lim.ExampleTimeout = *timeout
 
 	ids := experiments.IDs
 	if *exp != "all" {
@@ -44,9 +58,10 @@ func main() {
 		}
 		ids = []string{*exp}
 	}
+	ctx := context.Background()
 	for _, id := range ids {
 		start := time.Now()
-		table, err := experiments.Registry[id](lim)
+		table, err := experiments.Registry[id](ctx, lim)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			os.Exit(1)

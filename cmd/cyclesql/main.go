@@ -1,18 +1,29 @@
-// Command cyclesql translates one natural-language question end-to-end
-// with the CycleSQL feedback loop and prints the full loop trace: every
-// candidate, its data-grounded explanation, and the verifier's verdict.
+// Command cyclesql translates natural-language questions end-to-end with
+// the CycleSQL feedback loop. In its default single-question mode it
+// prints the full loop trace: every candidate, its data-grounded
+// explanation, and the verifier's verdict. With -all it sweeps every
+// benchmark question for the database through the batched experiment
+// runner and prints one verdict line per question plus a summary.
 //
 // Usage:
 //
 //	cyclesql -db world_1 -model resdsql-3b -q "How many countries are in Africa?"
 //	cyclesql -db flight_2 -q "Show all flight numbers with aircraft Airbus A340-300."
+//	cyclesql -db world_1 -all -workers 4 -parallel 4
+//
+// The two parallelism knobs compose: -workers (with -all) overlaps whole
+// questions, -parallel overlaps the beam candidates inside each question's
+// feedback loop; per-question results are identical at any setting.
+// -timeout bounds one question's wall clock.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"cyclesql/internal/core"
 	"cyclesql/internal/datasets"
@@ -27,36 +38,69 @@ func main() {
 	question := flag.String("q", "", "natural-language question (must be a benchmark question so the simulated model can translate it)")
 	beam := flag.Int("beam", 8, "candidate beam size")
 	parallel := flag.Int("parallel", 1, "concurrent candidate verifications (1 = the paper's sequential loop; results are identical either way)")
+	workers := flag.Int("workers", 1, "with -all: concurrent questions (1 = sequential; per-question results are identical either way)")
+	timeout := flag.Duration("timeout", 0, "per-question wall-clock budget (0 = none), e.g. 30s")
+	all := flag.Bool("all", false, "translate every benchmark question for -db instead of a single -q")
 	flag.Parse()
 
 	bench := datasets.Spider()
-	// The simulated models translate benchmark examples; find the one
-	// matching the question (or list available questions).
+
+	// Resolve the question (or, for -all, the database) before the
+	// expensive verifier training, so a typo'd -q or -db exits with usage
+	// help immediately instead of after a full training run.
 	var found *datasets.Example
-	for i := range bench.Dev {
-		ex := &bench.Dev[i]
-		if ex.DBName == *dbName && (strings.EqualFold(ex.Question, *question) || *question == "") {
-			found = ex
-			break
-		}
-	}
-	if found == nil {
-		fmt.Fprintf(os.Stderr, "no benchmark question matches; questions for %s:\n", *dbName)
-		for _, ex := range bench.Dev {
-			if ex.DBName == *dbName {
-				fmt.Fprintf(os.Stderr, "  %s\n", ex.Question)
+	if !*all {
+		// The simulated models translate benchmark examples; find the one
+		// matching the question (or list available questions).
+		for i := range bench.Dev {
+			ex := &bench.Dev[i]
+			if ex.DBName == *dbName && (strings.EqualFold(ex.Question, *question) || *question == "") {
+				found = ex
+				break
 			}
 		}
-		os.Exit(2)
+		if found == nil {
+			fmt.Fprintf(os.Stderr, "no benchmark question matches; questions for %s:\n", *dbName)
+			for _, ex := range bench.Dev {
+				if ex.DBName == *dbName {
+					fmt.Fprintf(os.Stderr, "  %s\n", ex.Question)
+				}
+			}
+			os.Exit(2)
+		}
+	} else {
+		known := false
+		for _, ex := range bench.Dev {
+			if ex.DBName == *dbName {
+				known = true
+				break
+			}
+		}
+		if !known {
+			fmt.Fprintf(os.Stderr, "no benchmark questions for database %q\n", *dbName)
+			os.Exit(2)
+		}
 	}
-	db := bench.DB(found.DBName)
+
 	verifier := experiments.Verifier(experiments.DefaultLimits)
 	pipeline := core.NewPipeline(nl2sql.MustByName(*modelName), verifier, bench.Name)
 	pipeline.BeamSize = *beam
 	pipeline.Parallelism = *parallel
 
+	if *all {
+		sweep(pipeline, bench, *dbName, *modelName, *workers, *timeout)
+		return
+	}
+	db := bench.DB(found.DBName)
+
 	fmt.Printf("Question: %s\nDatabase: %s   Model: %s\n\n", found.Question, found.DBName, *modelName)
-	res, err := pipeline.Translate(*found, db)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := pipeline.Translate(ctx, *found, db)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -82,4 +126,55 @@ func main() {
 	fmt.Printf("\nFinal translation (%d iterations, verified=%v):\n  %s\n", res.Iterations, res.Verified, res.FinalSQL)
 	fmt.Printf("Execution-correct vs gold: %v\n", eval.EX(db, res.Final, found.Gold))
 	fmt.Printf("Feedback-loop overhead: %s\n", res.Overhead.Round(100))
+}
+
+// sweep runs the feedback loop over every dev question of one database on
+// the batched experiment runner, printing per-question verdicts in
+// benchmark order regardless of completion order.
+func sweep(pipeline *core.Pipeline, bench *datasets.Benchmark, dbName, modelName string, workers int, timeout time.Duration) {
+	var qs []datasets.Example
+	for _, ex := range bench.Dev {
+		if ex.DBName == dbName {
+			qs = append(qs, ex)
+		}
+	}
+	if len(qs) == 0 {
+		fmt.Fprintf(os.Stderr, "no benchmark questions for database %q\n", dbName)
+		os.Exit(2)
+	}
+	fmt.Printf("Database: %s   Model: %s   Questions: %d   Workers: %d\n\n", dbName, modelName, len(qs), workers)
+	results := make([]*core.Result, len(qs))
+	start := time.Now()
+	batch := experiments.Batch{Workers: workers, Timeout: timeout}
+	errs := batch.Run(context.Background(), len(qs), func(ctx context.Context, i int) error {
+		res, err := pipeline.Translate(ctx, qs[i], bench.DB(qs[i].DBName))
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	elapsed := time.Since(start)
+	verified, correct, failed := 0, 0, 0
+	for i, ex := range qs {
+		if errs[i] != nil {
+			failed++
+			fmt.Printf("%3d FAILED    %s\n    %v\n", i+1, ex.Question, errs[i])
+			continue
+		}
+		res := results[i]
+		ok := eval.EX(bench.DB(ex.DBName), res.Final, ex.Gold)
+		verdict := "rejected "
+		if res.Verified {
+			verdict = "VALIDATED"
+			verified++
+		}
+		if ok {
+			correct++
+		}
+		fmt.Printf("%3d %s %s\n    iterations=%d execution-correct=%v  %s\n",
+			i+1, verdict, ex.Question, res.Iterations, ok, res.FinalSQL)
+	}
+	fmt.Printf("\n%d/%d verified, %d/%d execution-correct, %d failed in %s\n",
+		verified, len(qs), correct, len(qs), failed, elapsed.Round(time.Millisecond))
 }

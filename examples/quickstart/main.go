@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"cyclesql/internal/core"
@@ -30,7 +31,7 @@ func main() {
 	// 3. Wrap any model with the feedback loop.
 	pipeline := core.NewPipeline(nl2sql.MustByName("resdsql-3b"), verifier, bench.Name)
 
-	res, err := pipeline.Translate(ex, db)
+	res, err := pipeline.Translate(context.Background(), ex, db)
 	if err != nil {
 		panic(err)
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"cyclesql/internal/core"
@@ -42,7 +43,7 @@ func main() {
 			if eval.EX(db, base, ex.Gold) {
 				baseOK++
 			}
-			res, err := pipeline.Translate(ex, db)
+			res, err := pipeline.Translate(context.Background(), ex, db)
 			if err != nil {
 				panic(err)
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -85,7 +86,7 @@ func TestCycleSQLImprovesExecutionAccuracy(t *testing.T) {
 			if eval.EX(db, base, ex.Gold) {
 				baseOK++
 			}
-			res, err := p.Translate(ex, db)
+			res, err := p.Translate(context.Background(), ex, db)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -110,7 +111,7 @@ func TestOracleVerifierBoundsTrained(t *testing.T) {
 	for _, ex := range dev {
 		db := bench.DB(ex.DBName)
 		pt := NewPipeline(model, v, bench.Name)
-		rt, err := pt.Translate(ex, db)
+		rt, err := pt.Translate(context.Background(), ex, db)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -118,7 +119,7 @@ func TestOracleVerifierBoundsTrained(t *testing.T) {
 			trainedOK++
 		}
 		po := NewPipeline(model, oracle, bench.Name)
-		ro, err := po.Translate(ex, db)
+		ro, err := po.Translate(context.Background(), ex, db)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -138,7 +139,7 @@ func TestTranslateFallsBackToTop1(t *testing.T) {
 	db := bench.DB(ex.DBName)
 	reject := nli.Func{Label: "reject-all", Fn: func(string, nli.Premise) bool { return false }}
 	p := NewPipeline(nl2sql.MustByName("resdsql-3b"), reject, bench.Name)
-	res, err := p.Translate(ex, db)
+	res, err := p.Translate(context.Background(), ex, db)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestTranslateAcceptsFirstVerified(t *testing.T) {
 	db := bench.DB(ex.DBName)
 	accept := nli.Func{Label: "accept-all", Fn: func(string, nli.Premise) bool { return true }}
 	p := NewPipeline(nl2sql.MustByName("resdsql-3b"), accept, bench.Name)
-	res, err := p.Translate(ex, db)
+	res, err := p.Translate(context.Background(), ex, db)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestSQL2NLFeedbackIsDataBlind(t *testing.T) {
 	db := bench.DB(ex.DBName)
 	fb := SQL2NLFeedback{}
 	rel := execGold(t, bench, ex)
-	p1, err := fb.Premise(db, ex.Gold, rel)
+	p1, err := fb.Premise(context.Background(), db, ex.Gold, rel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestSQL2NLFeedbackIsDataBlind(t *testing.T) {
 	}
 	// The explanation must not depend on the data: re-deriving it from an
 	// empty relation yields the same text.
-	p2, _ := fb.Premise(db, ex.Gold, nil)
+	p2, _ := fb.Premise(context.Background(), db, ex.Gold, nil)
 	if p1.Explanation != p2.Explanation {
 		t.Fatal("sql2nl feedback must ignore the data instance")
 	}
@@ -195,7 +196,7 @@ func TestIterationsBoundedByBeam(t *testing.T) {
 	p := NewPipeline(nl2sql.MustByName("picard-3b"), v, bench.Name)
 	p.BeamSize = 4
 	for _, ex := range bench.Dev[:20] {
-		res, err := p.Translate(ex, bench.DB(ex.DBName))
+		res, err := p.Translate(context.Background(), ex, bench.DB(ex.DBName))
 		if err != nil {
 			t.Fatal(err)
 		}

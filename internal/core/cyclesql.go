@@ -16,9 +16,21 @@
 // loop — Iterations still counts candidates in beam order (paper Fig 8a).
 // The stock Feedback and Verifier implementations are safe for concurrent
 // use; custom ones must be too before raising Parallelism above 1.
+//
+// Cancellation: Translate takes a context.Context that threads through
+// every candidate's execute → explain chain down to the SQL executor's
+// inner loops (sqleval.Executor.ExecContext), so cancelling it — the
+// batch experiment driver's per-example timeout, or a caller shutting
+// down — aborts the loop mid-query and Translate returns the context's
+// error. Internally the parallel path derives a per-call context that it
+// cancels as soon as a candidate validates, which aborts the in-flight
+// speculative executions of later candidates instead of letting them run
+// to completion; their discarded outcomes never affect the Result, so
+// the beam-order parity guarantee above is unchanged.
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -35,10 +47,12 @@ import (
 // Feedback generates the self-provided feedback (the premise) for one
 // candidate translation. The default is CycleSQL's data-grounded
 // explanation; the SQL2NL ablation (paper Fig 9) plugs in a query-surface
-// back-translation instead.
+// back-translation instead. Premise must honor ctx: the loop cancels it
+// to abort speculative feedback generation for candidates that can no
+// longer win.
 type Feedback interface {
 	Name() string
-	Premise(db *storage.Database, stmt *sqlast.SelectStmt, result *sqltypes.Relation) (nli.Premise, error)
+	Premise(ctx context.Context, db *storage.Database, stmt *sqlast.SelectStmt, result *sqltypes.Relation) (nli.Premise, error)
 }
 
 // DataGrounded is CycleSQL's own feedback: provenance-based explanations.
@@ -92,11 +106,11 @@ func (d DataGrounded) explainer(db *storage.Database) *explain.Explainer {
 // Premise implements Feedback. It is safe for concurrent use: the cached
 // explainers are concurrency-safe and the cache hands concurrent callers
 // one shared explainer per database.
-func (d DataGrounded) Premise(db *storage.Database, stmt *sqlast.SelectStmt, result *sqltypes.Relation) (nli.Premise, error) {
+func (d DataGrounded) Premise(ctx context.Context, db *storage.Database, stmt *sqlast.SelectStmt, result *sqltypes.Relation) (nli.Premise, error) {
 	e := d.explainer(db)
 	// The paper explains one representative result tuple; the first row is
 	// the deterministic choice (training randomizes, inference does not).
-	exp, err := e.Explain(stmt, result, 0)
+	exp, err := e.ExplainContext(ctx, stmt, result, 0)
 	if err != nil {
 		return nli.Premise{}, err
 	}
@@ -183,10 +197,20 @@ func NewPipeline(model nl2sql.Model, verifier nli.Verifier, benchmark string) *P
 	}
 }
 
-// Translate runs the feedback loop for one example.
-func (p *Pipeline) Translate(ex datasets.Example, db *storage.Database) (*Result, error) {
+// Translate runs the feedback loop for one example. Cancelling ctx aborts
+// the loop — including any SQL execution in flight, which the executor
+// interrupts mid-query — and Translate returns the context's error; a
+// Result is never returned alongside one, so callers cannot mistake a
+// half-examined beam for a real outcome.
+func (p *Pipeline) Translate(ctx context.Context, ex datasets.Example, db *storage.Database) (*Result, error) {
 	if p.Model == nil || p.Verifier == nil {
 		return nil, fmt.Errorf("core: pipeline needs a model and a verifier")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	fb := p.Feedback
 	if fb == nil {
@@ -210,9 +234,12 @@ func (p *Pipeline) Translate(ex datasets.Example, db *storage.Database) (*Result
 	// concurrent Exec, so the parallel path shares it across workers.
 	executor := p.executor(db)
 	if p.Parallelism > 1 && len(candidates) > 1 {
-		p.runParallel(res, ex, db, fb, executor, candidates)
+		p.runParallel(ctx, res, ex, db, fb, executor, candidates)
 	} else {
-		p.runSequential(res, ex, db, fb, executor, candidates)
+		p.runSequential(ctx, res, ex, db, fb, executor, candidates)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if !res.Verified {
 		// No candidate validated: the top-1 candidate is the outcome.
@@ -223,10 +250,14 @@ func (p *Pipeline) Translate(ex datasets.Example, db *storage.Database) (*Result
 }
 
 // runSequential is the paper's loop: examine candidates one at a time in
-// beam order, stopping at the first validated one.
-func (p *Pipeline) runSequential(res *Result, ex datasets.Example, db *storage.Database, fb Feedback, executor *sqleval.Executor, candidates []nl2sql.Candidate) {
+// beam order, stopping at the first validated one — or at cancellation,
+// which Translate converts into an error return.
+func (p *Pipeline) runSequential(ctx context.Context, res *Result, ex datasets.Example, db *storage.Database, fb Feedback, executor *sqleval.Executor, candidates []nl2sql.Candidate) {
 	for i, cand := range candidates {
-		o := p.examine(ex.Question, db, fb, executor, cand)
+		if ctx.Err() != nil {
+			return
+		}
+		o := p.examine(ctx, ex.Question, db, fb, executor, cand)
 		res.Iterations = i + 1
 		res.Premises = append(res.Premises, o.premise)
 		res.Errors = append(res.Errors, o.err)
@@ -250,15 +281,18 @@ type candOutcome struct {
 // examine runs the execute → explain → verify chain for one candidate.
 // Both the sequential loop and the parallel workers go through it, so the
 // two paths produce identical premises, errors and verdicts by
-// construction.
-func (p *Pipeline) examine(question string, db *storage.Database, fb Feedback, executor *sqleval.Executor, cand nl2sql.Candidate) candOutcome {
-	rel, err := executor.Exec(cand.Stmt)
+// construction. A cancelled ctx surfaces as an "execute:"/"explain:"
+// error outcome; callers that care (the parallel committer discarding
+// in-flight losers, Translate's error return) check the context itself
+// rather than parsing the string.
+func (p *Pipeline) examine(ctx context.Context, question string, db *storage.Database, fb Feedback, executor *sqleval.Executor, cand nl2sql.Candidate) candOutcome {
+	rel, err := executor.ExecContext(ctx, cand.Stmt)
 	if err != nil {
 		// Invalid SQL can never validate; record an empty premise with the
 		// failure and move on.
 		return candOutcome{premise: nli.Premise{SQL: cand.SQL}, err: "execute: " + err.Error()}
 	}
-	premise, err := fb.Premise(db, cand.Stmt, rel)
+	premise, err := fb.Premise(ctx, db, cand.Stmt, rel)
 	if err != nil {
 		return candOutcome{premise: nli.Premise{SQL: cand.SQL}, err: "explain: " + err.Error()}
 	}

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
 	"cyclesql/internal/datasets"
 	"cyclesql/internal/nl2sql"
+	"cyclesql/internal/nli"
 	"cyclesql/internal/sqleval"
 	"cyclesql/internal/storage"
 )
@@ -15,16 +17,27 @@ import (
 // paper's sequential semantics exactly: the first candidate (in beam
 // order) whose explanation validates wins, Iterations counts candidates
 // exactly as the sequential loop does, and Premises/Errors line up with
-// Candidates. Candidates beyond the winner that have not started are
-// cancelled; work already in flight finishes and is discarded — every
-// examine call is a pure read of the database, so discarded work has no
-// side effects beyond warmed caches.
-func (p *Pipeline) runParallel(res *Result, ex datasets.Example, db *storage.Database, fb Feedback, executor *sqleval.Executor, candidates []nl2sql.Candidate) {
+// Candidates. When a candidate validates, the speculative context derived
+// below is cancelled: candidates not yet claimed are never started, and
+// work already in flight is aborted mid-query (the executor polls the
+// context inside its scan/join loops) rather than left to run to
+// completion. Aborted outcomes belong to candidates after the winner, so
+// they are discarded unread and parity with the sequential loop holds —
+// every examine call is a pure read of the database, so abandoned work
+// has no side effects beyond warmed caches.
+func (p *Pipeline) runParallel(ctx context.Context, res *Result, ex datasets.Example, db *storage.Database, fb Feedback, executor *sqleval.Executor, candidates []nl2sql.Candidate) {
 	n := len(candidates)
 	workers := p.Parallelism
 	if workers > n {
 		workers = n
 	}
+
+	// specCtx governs speculation: it inherits the caller's deadline and
+	// cancellation, and is additionally cancelled the moment a winner
+	// commits, so stragglers abandon their executions instead of finishing
+	// them.
+	specCtx, cancelSpec := context.WithCancel(ctx)
+	defer cancelSpec()
 
 	// One buffered slot per candidate: workers never block publishing, so
 	// an early win cannot deadlock stragglers, and the committer below
@@ -34,7 +47,6 @@ func (p *Pipeline) runParallel(res *Result, ex datasets.Example, db *storage.Dat
 		outcomes[i] = make(chan candOutcome, 1)
 	}
 	var next atomic.Int64 // claim counter: workers take candidates in beam order
-	done := make(chan struct{})
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -45,19 +57,26 @@ func (p *Pipeline) runParallel(res *Result, ex datasets.Example, db *storage.Dat
 				if i >= n {
 					return
 				}
-				select {
-				case <-done:
-					return
-				default:
+				if err := specCtx.Err(); err != nil {
+					// Every claimed slot must be published, even under a
+					// dead context: the committer may still be draining
+					// beam order (the caller's deadline fired mid-loop),
+					// and an unpublished slot would block it forever. The
+					// outcome mirrors what examine would have produced.
+					outcomes[i] <- candOutcome{premise: nli.Premise{SQL: candidates[i].SQL}, err: "execute: " + err.Error()}
+					continue
 				}
-				outcomes[i] <- p.examine(ex.Question, db, fb, executor, candidates[i])
+				outcomes[i] <- p.examine(specCtx, ex.Question, db, fb, executor, candidates[i])
 			}
 		}()
 	}
 
-	// Commit in beam order. done only closes after outcomes 0..winner have
-	// all been consumed, so no worker can skip a candidate the committer
-	// still needs.
+	// Commit in beam order. specCtx is only cancelled after outcomes
+	// 0..winner have all been consumed, so no worker can abort a candidate
+	// the committer still needs — cancellation can only taint outcomes the
+	// loop below never reads. A caller-cancelled ctx surfaces here as fast
+	// error outcomes for the remaining candidates; Translate then discards
+	// the Result and returns the context's error.
 	for i := 0; i < n; i++ {
 		o := <-outcomes[i]
 		res.Iterations = i + 1
@@ -67,7 +86,7 @@ func (p *Pipeline) runParallel(res *Result, ex datasets.Example, db *storage.Dat
 			res.Final = candidates[i].Stmt
 			res.FinalSQL = candidates[i].SQL
 			res.Verified = true
-			close(done)
+			cancelSpec()
 			break
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -34,11 +35,11 @@ func TestSequentialParallelParity(t *testing.T) {
 		par.Parallelism = workers
 		for _, ex := range dev {
 			db := bench.DB(ex.DBName)
-			rs, err := seq.Translate(ex, db)
+			rs, err := seq.Translate(context.Background(), ex, db)
 			if err != nil {
 				t.Fatal(err)
 			}
-			rp, err := par.Translate(ex, db)
+			rp, err := par.Translate(context.Background(), ex, db)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -88,7 +89,7 @@ func TestConcurrentTranslateStress(t *testing.T) {
 			defer wg.Done()
 			for i := d; i < len(dev); i += drivers {
 				ex := dev[i]
-				res, err := p.Translate(ex, bench.DB(ex.DBName))
+				res, err := p.Translate(context.Background(), ex, bench.DB(ex.DBName))
 				if err != nil {
 					errs <- fmt.Errorf("driver %d, %q: %w", d, ex.Question, err)
 					return
@@ -184,7 +185,7 @@ func TestTranslateRecordsCandidateErrors(t *testing.T) {
 		reject := nli.Func{Label: "reject-all", Fn: func(string, nli.Premise) bool { return false }}
 		p := NewPipeline(model, reject, bench.Name)
 		p.Parallelism = workers
-		res, err := p.Translate(ex, db)
+		res, err := p.Translate(context.Background(), ex, db)
 		if err != nil {
 			t.Fatal(err)
 		}

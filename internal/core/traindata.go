@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 
 	"cyclesql/internal/datasets"
@@ -26,7 +27,8 @@ func (SQL2NLFeedback) Name() string { return "sql2nl" }
 
 // Premise implements Feedback: the explanation describes the query surface
 // only, ignoring the database instance (the paper's Fig 2 failure mode).
-func (SQL2NLFeedback) Premise(db *storage.Database, stmt *sqlast.SelectStmt, result *sqltypes.Relation) (nli.Premise, error) {
+// The description is pure in-memory work, so the context goes unused.
+func (SQL2NLFeedback) Premise(_ context.Context, db *storage.Database, stmt *sqlast.SelectStmt, result *sqltypes.Relation) (nli.Premise, error) {
 	return nli.Premise{
 		Explanation: sql2nl.Describe(db.Schema, stmt),
 		SQL:         nli.SQLOneLine(stmt.SQL()),
@@ -75,6 +77,9 @@ func BuildTrainingPairs(bench *datasets.Benchmark, cfg TrainDataConfig) []nli.Pa
 	if cfg.MaxExamples > 0 && len(examples) > cfg.MaxExamples {
 		examples = examples[:cfg.MaxExamples]
 	}
+	// Training-data collection is offline and never raced against a
+	// validation win, so premises generate under a background context.
+	ctx := context.Background()
 	var pairs []nli.Pair
 	for _, ex := range examples {
 		db := bench.DB(ex.DBName)
@@ -84,7 +89,7 @@ func BuildTrainingPairs(bench *datasets.Benchmark, cfg TrainDataConfig) []nli.Pa
 			continue
 		}
 		// Positive sample from the human-curated gold pair.
-		if premise, err := fb.Premise(db, ex.Gold, goldRel); err == nil {
+		if premise, err := fb.Premise(ctx, db, ex.Gold, goldRel); err == nil {
 			pairs = append(pairs, nli.Pair{Hypothesis: ex.Question, Premise: premise, Label: 1})
 		}
 		// Negative samples from model errors: beam candidates whose
@@ -105,7 +110,7 @@ func BuildTrainingPairs(bench *datasets.Benchmark, cfg TrainDataConfig) []nli.Pa
 				if err != nil {
 					continue
 				}
-				premise, err := fb.Premise(db, cand.Stmt, rel)
+				premise, err := fb.Premise(ctx, db, cand.Stmt, rel)
 				if err != nil {
 					continue
 				}

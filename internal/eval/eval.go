@@ -11,6 +11,7 @@
 package eval
 
 import (
+	"context"
 	"math/rand"
 
 	"cyclesql/internal/sqlast"
@@ -28,15 +29,24 @@ func EM(pred, gold *sqlast.SelectStmt) bool {
 // EX reports execution equivalence on one database. Predictions that fail
 // to execute are wrong; gold queries are trusted to execute.
 func EX(db *storage.Database, pred, gold *sqlast.SelectStmt) bool {
+	return EXContext(context.Background(), db, pred, gold)
+}
+
+// EXContext is EX under a context: both executions abort when ctx is
+// cancelled, and the aborted prediction scores false like any other
+// failed execution. Callers enforcing deadlines (the batched experiment
+// drivers) must check ctx.Err() after scoring and discard the outcome as
+// an error — a false produced by cancellation is not a measurement.
+func EXContext(ctx context.Context, db *storage.Database, pred, gold *sqlast.SelectStmt) bool {
 	if pred == nil {
 		return false
 	}
 	ex := sqleval.New(db)
-	goldRel, err := ex.Exec(gold)
+	goldRel, err := ex.ExecContext(ctx, gold)
 	if err != nil {
 		return false
 	}
-	predRel, err := ex.Exec(pred)
+	predRel, err := ex.ExecContext(ctx, pred)
 	if err != nil {
 		return false
 	}
@@ -102,8 +112,16 @@ func dropRows(db *storage.Database, rng *rand.Rand) {
 
 // TS reports test-suite equivalence: EX on every database of the suite.
 func TS(suite *Suite, pred, gold *sqlast.SelectStmt) bool {
+	return TSContext(context.Background(), suite, pred, gold)
+}
+
+// TSContext is TS under a context, with the same caveat as EXContext: a
+// cancelled ctx makes the remaining suite checks score false, so
+// deadline-enforcing callers must check ctx.Err() before recording the
+// verdict.
+func TSContext(ctx context.Context, suite *Suite, pred, gold *sqlast.SelectStmt) bool {
 	for _, db := range suite.DBs {
-		if !EX(db, pred, gold) {
+		if !EXContext(ctx, db, pred, gold) {
 			return false
 		}
 	}

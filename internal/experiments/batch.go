@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Batch is the cross-example worker pool the experiment drivers sweep dev
+// splits with. It is the second of the repository's two parallelism
+// levels: core.Pipeline.Parallelism overlaps the beam candidates of one
+// translation, Batch overlaps whole examples across a split — the two
+// compose, since a Pipeline is safe for concurrent Translate calls.
+//
+// Run hands each example its own index slot, so callers write results
+// into pre-sized slices and fold them in example order afterwards; that
+// folding discipline — never "whoever finishes first" accumulation — is
+// what keeps aggregate metrics bit-identical at every worker count.
+type Batch struct {
+	// Workers bounds how many examples run concurrently. 0 or 1 runs the
+	// sweep sequentially in the caller's goroutine, reproducing the
+	// pre-batch drivers exactly.
+	Workers int
+	// Timeout, when nonzero, bounds each example's wall clock: the
+	// example's context is cancelled at the deadline, the in-flight SQL
+	// execution aborts mid-query (sqleval polls the context in its inner
+	// loops), and the example's error slot records the deadline error —
+	// without stalling the workers sweeping the other examples.
+	Timeout time.Duration
+}
+
+// Run invokes fn(ctx, i) for every i in [0, n), at most Workers at a
+// time, and returns one error slot per index — nil for examples that
+// completed. The context handed to fn derives from ctx, with Timeout
+// applied per example. A panic inside fn is recovered into that
+// example's error slot instead of tearing down the sweep (one
+// pathological query must not cost the other 199 their results). If ctx
+// itself is cancelled, examples not yet started record the context's
+// error without running.
+//
+// Claim order is index order, so at Workers <= 1 the sweep is exactly
+// the sequential loop; at higher counts examples complete out of order
+// but the per-index slots keep every result attributable.
+func (b Batch) Run(ctx context.Context, n int, fn func(ctx context.Context, i int) error) []error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	errs := make([]error, n)
+	workers := b.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				continue
+			}
+			errs[i] = b.runOne(ctx, i, fn)
+		}
+		return errs
+	}
+	var next atomic.Int64 // claim counter: workers take examples in index order
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue // keep draining so every slot is accounted for
+				}
+				errs[i] = b.runOne(ctx, i, fn)
+			}
+		}()
+	}
+	wg.Wait()
+	return errs
+}
+
+// runOne runs fn for one example under its per-example deadline,
+// converting panics into errors.
+func (b Batch) runOne(ctx context.Context, i int, fn func(ctx context.Context, i int) error) (err error) {
+	if b.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, b.Timeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("experiments: example %d panicked: %v", i, r)
+		}
+	}()
+	return fn(ctx, i)
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -18,7 +19,7 @@ import (
 
 // Fig1 reproduces Fig 1: translation accuracy (any-beam-match EX) on the
 // Spider dev split as the beam size (or chat-completion count) grows.
-func Fig1(lim Limits) (*Table, error) {
+func Fig1(ctx context.Context, lim Limits) (*Table, error) {
 	bench := datasets.Spider()
 	dev := devSlice(bench, lim)
 	models := []string{"picard-3b", "resdsql-large", "gpt-3.5-turbo", "dail-sql"}
@@ -28,16 +29,33 @@ func Fig1(lim Limits) (*Table, error) {
 	}
 	for _, name := range models {
 		model := nl2sql.MustByName(name)
+		// One batch sweep per model scores all five beam widths for an
+		// example at once; hits fold in dev order below.
+		hits := make([][5]bool, len(dev))
+		errs := lim.batch().Run(ctx, len(dev), func(ctx context.Context, i int) error {
+			ex := dev[i]
+			db := bench.DB(ex.DBName)
+			for k := 1; k <= 5; k++ {
+				for _, cand := range model.Translate(bench.Name, ex, db, k) {
+					if eval.EXContext(ctx, db, cand.Stmt, ex.Gold) {
+						hits[i][k-1] = true
+						break
+					}
+				}
+			}
+			// A fired deadline silently fails EXContext; report it rather
+			// than recording bogus misses.
+			return ctx.Err()
+		})
+		if err := firstError(dev, errs); err != nil {
+			return nil, err
+		}
 		row := Row{Label: name}
 		for k := 1; k <= 5; k++ {
 			hit := 0
-			for _, ex := range dev {
-				db := bench.DB(ex.DBName)
-				for _, cand := range model.Translate(bench.Name, ex, db, k) {
-					if eval.EX(db, cand.Stmt, ex.Gold) {
-						hit++
-						break
-					}
+			for i := range hits {
+				if hits[i][k-1] {
+					hit++
 				}
 			}
 			row.Values = append(row.Values, pct(100*float64(hit)/float64(len(dev))))
@@ -58,7 +76,7 @@ var Table1Models = []string{
 
 // Table1 reproduces Table I: EM/EX/TS for every model, base vs +CycleSQL,
 // across the five benchmarks, with the verifier frozen from Spider.
-func Table1(lim Limits) (*Table, error) {
+func Table1(ctx context.Context, lim Limits) (*Table, error) {
 	verifier := Verifier(lim)
 	t := &Table{
 		Title:   "Table I: overall translation results (EM/EX/TS %), base vs +CycleSQL",
@@ -70,7 +88,7 @@ func Table1(lim Limits) (*Table, error) {
 			return nil, err
 		}
 		for _, model := range Table1Models {
-			ps, err := EvaluateModel(bench, model, verifier, lim)
+			ps, err := EvaluateModel(ctx, bench, model, verifier, lim)
 			if err != nil {
 				return nil, err
 			}
@@ -86,7 +104,7 @@ func Table1(lim Limits) (*Table, error) {
 }
 
 // Table2 reproduces Table II: Spider dev EX broken down by difficulty.
-func Table2(lim Limits) (*Table, error) {
+func Table2(ctx context.Context, lim Limits) (*Table, error) {
 	verifier := Verifier(lim)
 	bench := datasets.Spider()
 	dev := devSlice(bench, lim)
@@ -101,27 +119,40 @@ func Table2(lim Limits) (*Table, error) {
 		if isLLM(modelName) {
 			p.BeamSize = 5
 		}
+		type exampleEX struct{ baseOK, loopOK bool }
+		outs := make([]exampleEX, len(dev))
+		errs := lim.batch().Run(ctx, len(dev), func(ctx context.Context, i int) error {
+			ex := dev[i]
+			db := bench.DB(ex.DBName)
+			base, err := p.Baseline(ex, db)
+			if err != nil {
+				return err
+			}
+			res, err := p.Translate(ctx, ex, db)
+			if err != nil {
+				return err
+			}
+			outs[i] = exampleEX{
+				baseOK: eval.EXContext(ctx, db, base, ex.Gold),
+				loopOK: eval.EXContext(ctx, db, res.Final, ex.Gold),
+			}
+			return ctx.Err()
+		})
+		if err := firstError(dev, errs); err != nil {
+			return nil, err
+		}
 		type bucket struct{ baseOK, loopOK, n int }
 		buckets := map[sqlnorm.Difficulty]*bucket{}
 		for _, d := range sqlnorm.Difficulties {
 			buckets[d] = &bucket{}
 		}
-		for _, ex := range dev {
-			db := bench.DB(ex.DBName)
+		for i, ex := range dev {
 			bk := buckets[ex.Difficulty]
 			bk.n++
-			base, err := p.Baseline(ex, db)
-			if err != nil {
-				return nil, err
-			}
-			if eval.EX(db, base, ex.Gold) {
+			if outs[i].baseOK {
 				bk.baseOK++
 			}
-			res, err := p.Translate(ex, db)
-			if err != nil {
-				return nil, err
-			}
-			if eval.EX(db, res.Final, ex.Gold) {
+			if outs[i].loopOK {
 				bk.loopOK++
 			}
 		}
@@ -148,7 +179,7 @@ func Table2(lim Limits) (*Table, error) {
 var Fig8aModels = []string{"smbop", "picard-3b", "resdsql-large", "resdsql-3b", "gpt-3.5-turbo"}
 
 // Fig8a reproduces Fig 8a: average CycleSQL iterations on Spider dev.
-func Fig8a(lim Limits) (*Table, error) {
+func Fig8a(ctx context.Context, lim Limits) (*Table, error) {
 	verifier := Verifier(lim)
 	bench := datasets.Spider()
 	t := &Table{
@@ -156,7 +187,7 @@ func Fig8a(lim Limits) (*Table, error) {
 		Headers: []string{"avg iterations"},
 	}
 	for _, modelName := range Fig8aModels {
-		ps, err := EvaluateModel(bench, modelName, verifier, lim)
+		ps, err := EvaluateModel(ctx, bench, modelName, verifier, lim)
 		if err != nil {
 			return nil, err
 		}
@@ -173,7 +204,7 @@ var Fig8bModels = []string{"smbop", "resdsql-large", "resdsql-3b", "gpt-3.5-turb
 // CycleSQL. Model inference latency is the documented per-model constant
 // (GPU wall-clock is unavailable offline); the CycleSQL overhead is the
 // measured wall-clock of the real feedback loop.
-func Fig8b(lim Limits) (*Table, error) {
+func Fig8b(ctx context.Context, lim Limits) (*Table, error) {
 	verifier := Verifier(lim)
 	bench := datasets.Spider()
 	t := &Table{
@@ -181,7 +212,7 @@ func Fig8b(lim Limits) (*Table, error) {
 		Headers: []string{"base (ms)", "+cyclesql (ms)", "overhead (ms)"},
 	}
 	for _, modelName := range Fig8bModels {
-		ps, err := EvaluateModel(bench, modelName, verifier, lim)
+		ps, err := EvaluateModel(ctx, bench, modelName, verifier, lim)
 		if err != nil {
 			return nil, err
 		}
@@ -201,7 +232,7 @@ var Fig9Benchmarks = []string{"spider", "spider-realistic", "spider-syn", "spide
 // Fig9 reproduces Fig 9: EX with CycleSQL feedback vs the simpler SQL2NL
 // feedback, on RESDSQL-Large and GPT-3.5-turbo. The SQL2NL arm trains its
 // own verifier on SQL2NL premises under identical settings (paper §V-A4).
-func Fig9(lim Limits) (*Table, error) {
+func Fig9(ctx context.Context, lim Limits) (*Table, error) {
 	spider := datasets.Spider()
 	cycleVerifier := Verifier(lim)
 	sql2nlVerifier := core.TrainVerifier(spider,
@@ -220,7 +251,6 @@ func Fig9(lim Limits) (*Table, error) {
 			}
 			model := nl2sql.MustByName(modelName)
 			dev := devSlice(bench, lim)
-			var baseOK, cycleOK, sqlOK int
 			pc := core.NewPipeline(model, cycleVerifier, bench.Name)
 			psq := core.NewPipeline(model, sql2nlVerifier, bench.Name)
 			pc.Parallelism, psq.Parallelism = lim.Parallelism, lim.Parallelism
@@ -228,27 +258,42 @@ func Fig9(lim Limits) (*Table, error) {
 			if isLLM(modelName) {
 				pc.BeamSize, psq.BeamSize = 5, 5
 			}
-			for _, ex := range dev {
+			type exampleEX struct{ baseOK, cycleOK, sqlOK bool }
+			outs := make([]exampleEX, len(dev))
+			errs := lim.batch().Run(ctx, len(dev), func(ctx context.Context, i int) error {
+				ex := dev[i]
 				db := bench.DB(ex.DBName)
 				base, err := pc.Baseline(ex, db)
 				if err != nil {
-					return nil, err
+					return err
 				}
-				if eval.EX(db, base, ex.Gold) {
+				rc, err := pc.Translate(ctx, ex, db)
+				if err != nil {
+					return err
+				}
+				rs, err := psq.Translate(ctx, ex, db)
+				if err != nil {
+					return err
+				}
+				outs[i] = exampleEX{
+					baseOK:  eval.EXContext(ctx, db, base, ex.Gold),
+					cycleOK: eval.EXContext(ctx, db, rc.Final, ex.Gold),
+					sqlOK:   eval.EXContext(ctx, db, rs.Final, ex.Gold),
+				}
+				return ctx.Err()
+			})
+			if err := firstError(dev, errs); err != nil {
+				return nil, err
+			}
+			var baseOK, cycleOK, sqlOK int
+			for _, o := range outs {
+				if o.baseOK {
 					baseOK++
 				}
-				rc, err := pc.Translate(ex, db)
-				if err != nil {
-					return nil, err
-				}
-				if eval.EX(db, rc.Final, ex.Gold) {
+				if o.cycleOK {
 					cycleOK++
 				}
-				rs, err := psq.Translate(ex, db)
-				if err != nil {
-					return nil, err
-				}
-				if eval.EX(db, rs.Final, ex.Gold) {
+				if o.sqlOK {
 					sqlOK++
 				}
 			}
@@ -263,7 +308,7 @@ func Fig9(lim Limits) (*Table, error) {
 }
 
 // Table3 reproduces Table III: verifier-selection ablation on RESDSQL-3B.
-func Table3(lim Limits) (*Table, error) {
+func Table3(ctx context.Context, lim Limits) (*Table, error) {
 	bench := datasets.Spider()
 	dev := devSlice(bench, lim)
 	verifiers := []nli.Verifier{
@@ -276,7 +321,7 @@ func Table3(lim Limits) (*Table, error) {
 		Title:   "Table III: translation results of different verifier selections (Spider dev, RESDSQL-3B)",
 		Headers: []string{"EM", "EX", "TS"},
 	}
-	base, err := EvaluateModel(bench, "resdsql-3b", verifiers[0], lim)
+	base, err := EvaluateModel(ctx, bench, "resdsql-3b", verifiers[0], lim)
 	if err != nil {
 		return nil, err
 	}
@@ -284,7 +329,7 @@ func Table3(lim Limits) (*Table, error) {
 		pct(base.Base.EM), pct(base.Base.EX), pct(base.Base.TS)}})
 	labels := []string{"+cyclesql", "+cyclesql (llm verifier)", "+cyclesql (prebuilt nli)", "+cyclesql (oracle verifier)"}
 	for i, v := range verifiers {
-		ps, err := EvaluateModel(bench, "resdsql-3b", v, lim)
+		ps, err := EvaluateModel(ctx, bench, "resdsql-3b", v, lim)
 		if err != nil {
 			return nil, err
 		}
@@ -299,7 +344,7 @@ const caseStudyCount = 5
 
 // Table4 reproduces Table IV: case-study explanations for the five
 // world_1 queries, polished for readability as in the paper.
-func Table4(Limits) (*Table, error) {
+func Table4(ctx context.Context, _ Limits) (*Table, error) {
 	bench := datasets.Spider()
 	db := bench.DB("world_1")
 	t := &Table{
@@ -314,11 +359,11 @@ func Table4(Limits) (*Table, error) {
 			continue
 		}
 		count++
-		rel, err := sqleval.New(db).Exec(ex.Gold)
+		rel, err := sqleval.New(db).ExecContext(ctx, ex.Gold)
 		if err != nil {
 			return nil, err
 		}
-		exp, err := e.Explain(ex.Gold, rel, 0)
+		exp, err := e.ExplainContext(ctx, ex.Gold, rel, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -333,7 +378,7 @@ func Table4(Limits) (*Table, error) {
 // Fig10 reproduces Fig 10: the simulated user study over the five Table IV
 // queries, CycleSQL explanations vs the simpler GPT-3.5-style (SQL2NL)
 // explanations, on the paper's two dimensions plus overall ratings.
-func Fig10(Limits) (*Table, error) {
+func Fig10(ctx context.Context, _ Limits) (*Table, error) {
 	bench := datasets.Spider()
 	db := bench.DB("world_1")
 	e := explain.New(db)
@@ -348,11 +393,11 @@ func Fig10(Limits) (*Table, error) {
 			continue
 		}
 		count++
-		rel, err := sqleval.New(db).Exec(ex.Gold)
+		rel, err := sqleval.New(db).ExecContext(ctx, ex.Gold)
 		if err != nil {
 			return nil, err
 		}
-		exp, err := e.Explain(ex.Gold, rel, 0)
+		exp, err := e.ExplainContext(ctx, ex.Gold, rel, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -380,8 +425,10 @@ func Fig10(Limits) (*Table, error) {
 	return t, nil
 }
 
-// Registry maps experiment IDs to drivers.
-var Registry = map[string]func(Limits) (*Table, error){
+// Registry maps experiment IDs to drivers. Every driver takes the context
+// its sweeps run under — cancelling it aborts the in-flight example
+// executions and the driver returns the context's error.
+var Registry = map[string]func(context.Context, Limits) (*Table, error){
 	"fig1":   Fig1,
 	"table1": Table1,
 	"table2": Table2,

@@ -15,13 +15,27 @@
 //	table3  verifier-selection ablation (Table III)
 //	fig10   simulated user study (Fig 10)
 //	table4  case-study explanations on world_1 (Table IV)
+//
+// Concurrency: the drivers sweep dev examples through the Batch worker
+// pool (batch.go), writing per-example outcomes into index slots and
+// folding them in example order, so every accuracy and iteration column
+// is bit-identical at every Limits.Workers count (measured-wall-clock
+// columns — Fig 8b's overhead — vary run to run regardless of workers);
+// the candidate-level Parallelism knob composes underneath it. The package-level caches here (trained verifiers,
+// distilled test suites) are mutex-guarded and shared freely across
+// workers; datasets.Benchmark values are immutable after construction and
+// safe to read from any goroutine. Each driver builds its pipelines
+// before the sweep and shares them across workers — core.Pipeline is safe
+// for concurrent Translate calls.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"cyclesql/internal/core"
 	"cyclesql/internal/datasets"
@@ -40,6 +54,25 @@ type Limits struct {
 	// candidate loop, higher values verify beam candidates concurrently
 	// with identical results.
 	Parallelism int
+	// Workers bounds how many dev examples each driver evaluates
+	// concurrently (see Batch): 0 or 1 sweeps sequentially, higher values
+	// overlap whole examples with identical per-example results and
+	// bit-identical accuracy/iteration aggregates (measured wall-clock,
+	// like Fig 8b's overhead column, varies with load as it always has).
+	// Workers multiplies with Parallelism
+	// — w workers each verifying p candidates run up to w*p executions at
+	// once — so size the product to the core count (or, under simulated
+	// inference latency, to the latency you want overlapped).
+	Workers int
+	// ExampleTimeout, when nonzero, is the per-example wall-clock budget
+	// the batch runner enforces; an example that exceeds it fails with the
+	// deadline error instead of stalling the sweep.
+	ExampleTimeout time.Duration
+}
+
+// batch returns the cross-example worker pool the limits configure.
+func (l Limits) batch() Batch {
+	return Batch{Workers: l.Workers, Timeout: l.ExampleTimeout}
 }
 
 // DefaultLimits balances fidelity and runtime for the benchmark harness.
@@ -84,22 +117,31 @@ func devSlice(b *datasets.Benchmark, lim Limits) []datasets.Example {
 	return dev
 }
 
-// suiteFor caches distilled test suites per database (TS metric).
+// suiteFor caches distilled test suites per database (TS metric). The
+// mutex covers only the map; each suite builds under its own sync.Once,
+// so batch workers needing different databases distill concurrently and
+// cached lookups never block behind an in-progress build.
 var (
 	suiteMu    sync.Mutex
-	suiteCache = map[string]*eval.Suite{}
+	suiteCache = map[string]*suiteEntry{}
 )
+
+type suiteEntry struct {
+	once  sync.Once
+	suite *eval.Suite
+}
 
 func suiteFor(b *datasets.Benchmark, dbName string) *eval.Suite {
 	key := b.Name + "/" + dbName
 	suiteMu.Lock()
-	defer suiteMu.Unlock()
-	if s, ok := suiteCache[key]; ok {
-		return s
+	e, ok := suiteCache[key]
+	if !ok {
+		e = &suiteEntry{}
+		suiteCache[key] = e
 	}
-	s := eval.BuildSuite(b.DB(dbName), int64(len(key))*31+7)
-	suiteCache[key] = s
-	return s
+	suiteMu.Unlock()
+	e.once.Do(func() { e.suite = eval.BuildSuite(b.DB(dbName), int64(len(key))*31+7) })
+	return e.suite
 }
 
 // RunPair evaluates one model on one benchmark, base vs +CycleSQL.
@@ -112,33 +154,60 @@ type PairScores struct {
 	AvgOverheadMS float64
 }
 
+// exampleScores is one example's contribution to PairScores, captured in
+// its index slot by a batch worker and folded in dev order afterwards.
+type exampleScores struct {
+	baseEM, baseEX, baseTS bool
+	loopEM, loopEX, loopTS bool
+	iterations             int
+	overheadMS             float64
+}
+
 // EvaluateModel runs the base model and the CycleSQL pipeline over the
-// benchmark's dev split and scores both with EM/EX/TS.
-func EvaluateModel(b *datasets.Benchmark, modelName string, verifier nli.Verifier, lim Limits) (PairScores, error) {
+// benchmark's dev split and scores both with EM/EX/TS. The sweep runs on
+// the Limits' batch pool: per-example outcomes land in index slots and
+// fold in dev order, so the scores are identical at every worker count.
+func EvaluateModel(ctx context.Context, b *datasets.Benchmark, modelName string, verifier nli.Verifier, lim Limits) (PairScores, error) {
 	model := nl2sql.MustByName(modelName)
 	p := core.NewPipeline(model, verifier, b.Name)
 	p.Parallelism = lim.Parallelism
 	if isLLM(modelName) {
 		p.BeamSize = 5 // the paper's chat-completion n parameter
 	}
-	var baseC, loopC eval.Counter
-	iterSum, overheadSum := 0.0, 0.0
 	dev := devSlice(b, lim)
-	for _, ex := range dev {
+	outs := make([]exampleScores, len(dev))
+	errs := lim.batch().Run(ctx, len(dev), func(ctx context.Context, i int) error {
+		ex := dev[i]
 		db := b.DB(ex.DBName)
 		suite := suiteFor(b, ex.DBName)
 		base, err := p.Baseline(ex, db)
 		if err != nil {
-			return PairScores{}, err
+			return err
 		}
-		baseC.Add(eval.EM(base, ex.Gold), eval.EX(db, base, ex.Gold), eval.TS(suite, base, ex.Gold))
-		res, err := p.Translate(ex, db)
+		res, err := p.Translate(ctx, ex, db)
 		if err != nil {
-			return PairScores{}, err
+			return err
 		}
-		loopC.Add(eval.EM(res.Final, ex.Gold), eval.EX(db, res.Final, ex.Gold), eval.TS(suite, res.Final, ex.Gold))
-		iterSum += float64(res.Iterations)
-		overheadSum += float64(res.Overhead.Microseconds()) / 1000.0
+		outs[i] = exampleScores{
+			baseEM: eval.EM(base, ex.Gold), baseEX: eval.EXContext(ctx, db, base, ex.Gold), baseTS: eval.TSContext(ctx, suite, base, ex.Gold),
+			loopEM: eval.EM(res.Final, ex.Gold), loopEX: eval.EXContext(ctx, db, res.Final, ex.Gold), loopTS: eval.TSContext(ctx, suite, res.Final, ex.Gold),
+			iterations: res.Iterations,
+			overheadMS: float64(res.Overhead.Microseconds()) / 1000.0,
+		}
+		// Scoring under a fired deadline silently fails EX/TS; surface the
+		// deadline as this example's error instead of recording bogus scores.
+		return ctx.Err()
+	})
+	if err := firstError(dev, errs); err != nil {
+		return PairScores{}, err
+	}
+	var baseC, loopC eval.Counter
+	iterSum, overheadSum := 0.0, 0.0
+	for _, o := range outs {
+		baseC.Add(o.baseEM, o.baseEX, o.baseTS)
+		loopC.Add(o.loopEM, o.loopEX, o.loopTS)
+		iterSum += float64(o.iterations)
+		overheadSum += o.overheadMS
 	}
 	n := float64(len(dev))
 	return PairScores{
@@ -149,6 +218,17 @@ func EvaluateModel(b *datasets.Benchmark, modelName string, verifier nli.Verifie
 		AvgIterations: iterSum / n,
 		AvgOverheadMS: overheadSum / n,
 	}, nil
+}
+
+// firstError surfaces the first (dev-order) per-example failure from a
+// batch sweep, tagged with the example it belongs to.
+func firstError(dev []datasets.Example, errs []error) error {
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("example %s: %w", dev[i].ID, err)
+		}
+	}
+	return nil
 }
 
 func isLLM(model string) bool {

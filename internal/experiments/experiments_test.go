@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -26,7 +27,7 @@ func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 }
 
 func TestFig1MonotoneInBeamSize(t *testing.T) {
-	table, err := Fig1(tinyLimits)
+	table, err := Fig1(context.Background(), tinyLimits)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func TestFig1MonotoneInBeamSize(t *testing.T) {
 }
 
 func TestTable4ContainsCaseStudy(t *testing.T) {
-	table, err := Table4(tinyLimits)
+	table, err := Table4(context.Background(), tinyLimits)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestTable4ContainsCaseStudy(t *testing.T) {
 }
 
 func TestFig10PrefersCycleSQL(t *testing.T) {
-	table, err := Fig10(tinyLimits)
+	table, err := Fig10(context.Background(), tinyLimits)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,6 +15,7 @@
 package explain
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -72,7 +73,16 @@ func New(db *storage.Database) *Explainer {
 // the output of executing stmt against e.DB. For empty results the
 // explanation is generated from operation-level semantics alone.
 func (e *Explainer) Explain(stmt *sqlast.SelectStmt, result *sqltypes.Relation, rowIdx int) (*Explanation, error) {
-	prov, err := e.trackerFor().Track(stmt, result, rowIdx)
+	return e.ExplainContext(context.Background(), stmt, result, rowIdx)
+}
+
+// ExplainContext is Explain with cancellation: the provenance queries the
+// tracker executes run under ctx, so the CycleSQL loop can abort an
+// in-flight speculative explanation once an earlier candidate validates.
+// Phrase generation itself is pure in-memory string work and finishes
+// without further checks once tracking completes.
+func (e *Explainer) ExplainContext(ctx context.Context, stmt *sqlast.SelectStmt, result *sqltypes.Relation, rowIdx int) (*Explanation, error) {
+	prov, err := e.trackerFor().TrackContext(ctx, stmt, result, rowIdx)
 	if err != nil {
 		return nil, err
 	}

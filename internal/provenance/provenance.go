@@ -19,6 +19,7 @@
 package provenance
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -99,8 +100,19 @@ func (t *Tracker) DB() *storage.Database { return t.db }
 // Track computes the provenance of result row rowIdx of stmt's output.
 // result must be the relation produced by executing stmt on t's database.
 // For empty results, Track returns a Provenance with Empty set and no
-// Parts.
+// Parts. Track never aborts early; callers that need cancellation use
+// TrackContext.
 func (t *Tracker) Track(stmt *sqlast.SelectStmt, result *sqltypes.Relation, rowIdx int) (*Provenance, error) {
+	return t.TrackContext(context.Background(), stmt, result, rowIdx)
+}
+
+// TrackContext is Track with cancellation: the provenance queries the
+// rewriting rules produce execute under ctx, so cancelling it aborts the
+// tracking mid-query. Cancellation is returned as the context's error —
+// never degraded to an operation-level-only Part the way ordinary rewrite
+// execution failures are, since a cancelled rewrite says nothing about
+// the rewrite itself.
+func (t *Tracker) TrackContext(ctx context.Context, stmt *sqlast.SelectStmt, result *sqltypes.Relation, rowIdx int) (*Provenance, error) {
 	p := &Provenance{Original: stmt, ResultSet: result, ResultColumns: result.Columns}
 	if result.NumRows() == 0 {
 		p.Empty = true
@@ -112,8 +124,11 @@ func (t *Tracker) Track(stmt *sqlast.SelectStmt, result *sqltypes.Relation, rowI
 	p.Result = result.Rows[rowIdx]
 	for _, core := range stmt.Cores {
 		rw := t.rewrite(core, p.Result)
-		rel, err := t.ex.Exec(rw)
+		rel, err := t.ex.ExecContext(ctx, rw)
 		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, ctxErr
+			}
 			// A rewrite that fails to execute (for example a Rule 1
 			// condition against a column dropped by the core) degrades to
 			// operation-level-only provenance for this part.

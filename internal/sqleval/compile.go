@@ -1,6 +1,7 @@
 package sqleval
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -57,13 +58,16 @@ func (s *scope) resolve(table, column string) (depth, idx int, ok bool) {
 // references, and — during grouped projection — the rows of the current
 // group for aggregate closures. depth carries the subquery nesting of the
 // core being executed so subquery closures can recurse with the right
-// bound; keeping it here (instead of on the executor) is what lets one
-// executor run concurrent executions without shared mutable state.
+// bound, and qctx carries the execution's context.Context so those
+// closures re-enter runProgram under the caller's cancellation; keeping
+// both here (instead of on the executor) is what lets one executor run
+// concurrent executions without shared mutable state.
 type rowCtx struct {
 	row    sqltypes.Row
 	parent *rowCtx
 	grp    *groupRows
 	depth  int
+	qctx   context.Context
 }
 
 // groupRows carries one group's member rows into aggregate closures.
@@ -131,9 +135,9 @@ type scanProbe struct {
 	key []byte
 }
 
-func (ts *tableScan) rows(ex *Executor, outer *rowCtx, depth int) ([]sqltypes.Row, bool, error) {
+func (ts *tableScan) rows(ctx context.Context, ex *Executor, outer *rowCtx, depth int) ([]sqltypes.Row, bool, error) {
 	if ts.sub != nil {
-		rel, err := ex.runProgram(ts.sub, outer, depth+1)
+		rel, err := ex.runProgram(ctx, ts.sub, outer, depth+1)
 		if err != nil {
 			return nil, false, err
 		}

@@ -31,9 +31,20 @@
 // flags must be set before the first Exec and not changed afterwards, and
 // the database contents must not be mutated while executions are in
 // flight (the store itself documents the same reader/writer contract).
+//
+// Cancellation: ExecContext aborts a running query when its context is
+// cancelled. The context is checked on entry to every program (so a
+// statement — or a correlated subquery evaluated per outer row — never
+// starts against a dead context) and then polled every
+// cancelCheckInterval rows inside the scan-filter, join, and projection
+// inner loops, so even a single pathological cross join returns within a
+// bounded number of row visits of the cancellation. Exec is ExecContext
+// with a background context — the paper's sequential loop and the many
+// one-shot executions in this repository pay no cancellation plumbing.
 package sqleval
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -79,14 +90,54 @@ const maxSubqueryDepth = 16
 // (the CycleSQL pipeline keeps one per database) reset it on overflow.
 const maxCachedPlans = 512
 
+// cancelCheckInterval is how many rows an inner loop visits between
+// context polls (power of two so the check compiles to a mask). 1024 rows
+// keeps the steady-state cost of cancellation support to one counter
+// increment per row while bounding the abort latency of the tightest
+// loops to microseconds.
+const cancelCheckInterval = 1024
+
+// cancelCheck amortizes ctx.Err polling over inner-loop iterations; the
+// zero count means the first poll happens a full interval in, so short
+// queries never pay a context read at all.
+type cancelCheck struct {
+	ctx context.Context
+	n   uint
+}
+
+// poll returns the context's error every cancelCheckInterval calls, nil
+// otherwise.
+func (cc *cancelCheck) poll() error {
+	cc.n++
+	if cc.n&(cancelCheckInterval-1) != 0 {
+		return nil
+	}
+	return cc.ctx.Err()
+}
+
 // Exec compiles the statement (or reuses its cached plan) and returns its
-// result relation.
+// result relation. It never aborts early; callers that need cancellation
+// or timeouts use ExecContext.
 func (ex *Executor) Exec(stmt *sqlast.SelectStmt) (*sqltypes.Relation, error) {
+	return ex.ExecContext(context.Background(), stmt)
+}
+
+// ExecContext is Exec with cancellation: the query aborts with the
+// context's error as soon as a cancellation check observes ctx done —
+// immediately for a context cancelled before the call, within
+// cancelCheckInterval row visits for one cancelled mid-query. The
+// CycleSQL loop uses this to abandon in-flight speculative candidate
+// executions once an earlier candidate validates, and the batch
+// experiment driver to enforce per-example timeouts.
+func (ex *Executor) ExecContext(ctx context.Context, stmt *sqlast.SelectStmt) (*sqltypes.Relation, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	prog, err := ex.compiled(stmt)
 	if err != nil {
 		return nil, err
 	}
-	return ex.runProgram(prog, nil, 1)
+	return ex.runProgram(ctx, prog, nil, 1)
 }
 
 func (ex *Executor) compiled(stmt *sqlast.SelectStmt) (*program, error) {
@@ -129,19 +180,25 @@ func (ex *Executor) storePlan(stmt *sqlast.SelectStmt, key string, p *program) {
 }
 
 // runProgram executes a compiled program. depth is the current subquery
-// nesting (1 for a top-level statement); it threads through the call chain
-// — and into row contexts, for subquery closures — instead of living on
-// the executor, so concurrent executions cannot observe each other.
-func (ex *Executor) runProgram(p *program, outer *rowCtx, depth int) (*sqltypes.Relation, error) {
+// nesting (1 for a top-level statement); depth and ctx thread through the
+// call chain — and into row contexts, for subquery closures — instead of
+// living on the executor, so concurrent executions cannot observe each
+// other. The entry check makes an already-cancelled context return before
+// any rows are visited, and gives correlated subqueries (re-entered here
+// once per outer row) a natural per-row cancellation point.
+func (ex *Executor) runProgram(ctx context.Context, p *program, outer *rowCtx, depth int) (*sqltypes.Relation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if depth > maxSubqueryDepth {
 		return nil, fmt.Errorf("sqleval: subquery nesting exceeds %d", maxSubqueryDepth)
 	}
-	result, err := ex.runCore(p.cores[0], outer, depth)
+	result, err := ex.runCore(ctx, p.cores[0], outer, depth)
 	if err != nil {
 		return nil, err
 	}
 	for i, op := range p.ops {
-		rhs, err := ex.runCore(p.cores[i+1], outer, depth)
+		rhs, err := ex.runCore(ctx, p.cores[i+1], outer, depth)
 		if err != nil {
 			return nil, err
 		}
@@ -213,8 +270,8 @@ func combine(l, r *sqltypes.Relation, op sqlast.CompoundOp) (*sqltypes.Relation,
 	return out, nil
 }
 
-func (ex *Executor) runCore(cc *compiledCore, outer *rowCtx, depth int) (*sqltypes.Relation, error) {
-	rows, owned, err := ex.buildFrom(cc, outer, depth)
+func (ex *Executor) runCore(ctx context.Context, cc *compiledCore, outer *rowCtx, depth int) (*sqltypes.Relation, error) {
+	rows, owned, err := ex.buildFrom(ctx, cc, outer, depth)
 	if err != nil {
 		return nil, err
 	}
@@ -223,10 +280,14 @@ func (ex *Executor) runCore(cc *compiledCore, outer *rowCtx, depth int) (*sqltyp
 		if !owned {
 			kept = rows[:0:0]
 		}
-		ctx := &rowCtx{parent: outer, depth: depth}
+		cancel := cancelCheck{ctx: ctx}
+		rc := &rowCtx{parent: outer, depth: depth, qctx: ctx}
 		for _, row := range rows {
-			ctx.row = row
-			ok, err := truthyAll(cc.filters, ctx)
+			if err := cancel.poll(); err != nil {
+				return nil, err
+			}
+			rc.row = row
+			ok, err := truthyAll(cc.filters, rc)
 			if err != nil {
 				return nil, err
 			}
@@ -237,9 +298,9 @@ func (ex *Executor) runCore(cc *compiledCore, outer *rowCtx, depth int) (*sqltyp
 		rows = kept
 	}
 	if len(cc.groupBy) > 0 || cc.hasAgg {
-		return ex.projectGrouped(cc, rows, outer, depth)
+		return ex.projectGrouped(ctx, cc, rows, outer, depth)
 	}
-	return ex.projectPlain(cc, rows, outer, depth)
+	return ex.projectPlain(ctx, cc, rows, outer, depth)
 }
 
 // truthyAll reports whether every conjunct evaluates truthy (tri-state AND
@@ -262,12 +323,12 @@ func truthyAll(filters []compiledExpr, ctx *rowCtx) (bool, error) {
 // pushed-down conjuncts) joined with each subsequent table. The returned
 // flag reports whether the slice is owned by the caller (safe to filter in
 // place) or shared with the storage layer.
-func (ex *Executor) buildFrom(cc *compiledCore, outer *rowCtx, depth int) ([]sqltypes.Row, bool, error) {
+func (ex *Executor) buildFrom(ctx context.Context, cc *compiledCore, outer *rowCtx, depth int) ([]sqltypes.Row, bool, error) {
 	if len(cc.scans) == 0 {
 		// SELECT without FROM evaluates items once over an empty row.
 		return []sqltypes.Row{{}}, true, nil
 	}
-	rows, owned, err := cc.scans[0].rows(ex, outer, depth)
+	rows, owned, err := cc.scans[0].rows(ctx, ex, outer, depth)
 	if err != nil {
 		return nil, false, err
 	}
@@ -276,10 +337,14 @@ func (ex *Executor) buildFrom(cc *compiledCore, outer *rowCtx, depth int) ([]sql
 		if !owned {
 			kept = rows[:0:0]
 		}
-		ctx := &rowCtx{parent: outer, depth: depth}
+		cancel := cancelCheck{ctx: ctx}
+		rc := &rowCtx{parent: outer, depth: depth, qctx: ctx}
 		for _, row := range rows {
-			ctx.row = row
-			ok, err := truthyAll(cc.baseFilters, ctx)
+			if err := cancel.poll(); err != nil {
+				return nil, false, err
+			}
+			rc.row = row
+			ok, err := truthyAll(cc.baseFilters, rc)
 			if err != nil {
 				return nil, false, err
 			}
@@ -292,11 +357,11 @@ func (ex *Executor) buildFrom(cc *compiledCore, outer *rowCtx, depth int) ([]sql
 	accW := cc.scans[0].width
 	for i, jp := range cc.joins {
 		next := cc.scans[i+1]
-		right, _, err := next.rows(ex, outer, depth)
+		right, _, err := next.rows(ctx, ex, outer, depth)
 		if err != nil {
 			return nil, false, err
 		}
-		rows, err = ex.execJoin(rows, accW, next, right, jp, outer, depth)
+		rows, err = ex.execJoin(ctx, rows, accW, next, right, jp, outer, depth)
 		if err != nil {
 			return nil, false, err
 		}
@@ -315,11 +380,15 @@ func (ex *Executor) buildFrom(cc *compiledCore, outer *rowCtx, depth int) ([]sql
 // (left-major, right rows in scan order) and null-extend unmatched left
 // rows inline for LEFT JOIN, matching rows by index — never by value — so
 // duplicate-valued rows cannot collide.
-func (ex *Executor) execJoin(acc []sqltypes.Row, accW int, next *tableScan, right []sqltypes.Row, jp *joinPlan, outer *rowCtx, depth int) ([]sqltypes.Row, error) {
+func (ex *Executor) execJoin(ctx context.Context, acc []sqltypes.Row, accW int, next *tableScan, right []sqltypes.Row, jp *joinPlan, outer *rowCtx, depth int) ([]sqltypes.Row, error) {
 	outW := accW + next.width
 	scratch := make(sqltypes.Row, outW)
-	ctx := &rowCtx{parent: outer, row: scratch, depth: depth}
+	rc := &rowCtx{parent: outer, row: scratch, depth: depth, qctx: ctx}
 	var out []sqltypes.Row
+	// One amortized cancellation counter covers every candidate pair
+	// (through tryPair) and every build-side row, so even an n×m nested
+	// loop observes cancellation within cancelCheckInterval pair visits.
+	cancel := cancelCheck{ctx: ctx}
 
 	emit := func() {
 		combined := make(sqltypes.Row, outW)
@@ -329,9 +398,12 @@ func (ex *Executor) execJoin(acc []sqltypes.Row, accW int, next *tableScan, righ
 	// tryPair evaluates the residual over scratch (left part already
 	// filled) and emits on success.
 	tryPair := func(rrow sqltypes.Row) (bool, error) {
+		if err := cancel.poll(); err != nil {
+			return false, err
+		}
 		copy(scratch[accW:], rrow)
 		if len(jp.residual) > 0 {
-			ok, err := truthyAll(jp.residual, ctx)
+			ok, err := truthyAll(jp.residual, rc)
 			if err != nil || !ok {
 				return false, err
 			}
@@ -349,6 +421,9 @@ func (ex *Executor) execJoin(acc []sqltypes.Row, accW int, next *tableScan, righ
 	if len(jp.eqAcc) == 0 {
 		// Nested loop: cross join, or arbitrary non-equi ON condition.
 		for _, lrow := range acc {
+			if err := cancel.poll(); err != nil {
+				return nil, err
+			}
 			copy(scratch, lrow)
 			matched := false
 			for _, rrow := range right {
@@ -376,6 +451,9 @@ func (ex *Executor) execJoin(acc []sqltypes.Row, accW int, next *tableScan, righ
 		// pairs are bit-identical too.
 		ix := ex.db.Index(next.table, jp.eqNew[0])
 		for _, lrow := range acc {
+			if err := cancel.poll(); err != nil {
+				return nil, err
+			}
 			copy(scratch, lrow)
 			matched := false
 			if key, ok := lrow.AppendCompareKeyCols(buf[:0], jp.eqAcc); ok {
@@ -398,6 +476,9 @@ func (ex *Executor) execJoin(acc []sqltypes.Row, accW int, next *tableScan, righ
 		// Build on the right side; probe with left rows in order.
 		ht := make(map[string][]int32, len(right))
 		for ri, rrow := range right {
+			if err := cancel.poll(); err != nil {
+				return nil, err
+			}
 			key, ok := joinKey(buf[:0], rrow, jp.eqNew)
 			if !ok {
 				continue
@@ -406,6 +487,9 @@ func (ex *Executor) execJoin(acc []sqltypes.Row, accW int, next *tableScan, righ
 			ht[string(key)] = append(ht[string(key)], int32(ri))
 		}
 		for _, lrow := range acc {
+			if err := cancel.poll(); err != nil {
+				return nil, err
+			}
 			copy(scratch, lrow)
 			matched := false
 			if key, ok := joinKey(buf[:0], lrow, jp.eqAcc); ok {
@@ -429,6 +513,9 @@ func (ex *Executor) execJoin(acc []sqltypes.Row, accW int, next *tableScan, righ
 	// probe-left output order after scanning the right side once.
 	ht := make(map[string][]int32, len(acc))
 	for li, lrow := range acc {
+		if err := cancel.poll(); err != nil {
+			return nil, err
+		}
 		key, ok := joinKey(buf[:0], lrow, jp.eqAcc)
 		if !ok {
 			continue
@@ -438,6 +525,9 @@ func (ex *Executor) execJoin(acc []sqltypes.Row, accW int, next *tableScan, righ
 	}
 	matches := make([][]int32, len(acc))
 	for ri, rrow := range right {
+		if err := cancel.poll(); err != nil {
+			return nil, err
+		}
 		key, ok := joinKey(buf[:0], rrow, jp.eqNew)
 		if !ok {
 			continue
@@ -448,6 +538,9 @@ func (ex *Executor) execJoin(acc []sqltypes.Row, accW int, next *tableScan, righ
 		}
 	}
 	for li, lrow := range acc {
+		if err := cancel.poll(); err != nil {
+			return nil, err
+		}
 		copy(scratch, lrow)
 		matched := false
 		for _, ri := range matches[li] {

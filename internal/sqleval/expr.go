@@ -140,7 +140,7 @@ func (c *compiler) compileExpr(e sqlast.Expr, sc *scope) (compiledExpr, error) {
 		}
 		ex, not := c.ex, x.Not
 		return func(ctx *rowCtx) (sqltypes.Value, error) {
-			rel, err := ex.runProgram(sub, ctx, ctx.depth+1)
+			rel, err := ex.runProgram(ctx.qctx, sub, ctx, ctx.depth+1)
 			if err != nil {
 				return sqltypes.Value{}, err
 			}
@@ -153,7 +153,7 @@ func (c *compiler) compileExpr(e sqlast.Expr, sc *scope) (compiledExpr, error) {
 		}
 		ex := c.ex
 		return func(ctx *rowCtx) (sqltypes.Value, error) {
-			rel, err := ex.runProgram(sub, ctx, ctx.depth+1)
+			rel, err := ex.runProgram(ctx.qctx, sub, ctx, ctx.depth+1)
 			if err != nil {
 				return sqltypes.Value{}, err
 			}
@@ -355,7 +355,7 @@ func (c *compiler) compileIn(x *sqlast.InExpr, sc *scope) (compiledExpr, error) 
 			if err != nil {
 				return sqltypes.Value{}, err
 			}
-			rel, err := ex.runProgram(sub, ctx, ctx.depth+1)
+			rel, err := ex.runProgram(ctx.qctx, sub, ctx, ctx.depth+1)
 			if err != nil {
 				return sqltypes.Value{}, err
 			}
@@ -462,7 +462,7 @@ func (c *compiler) compileAggregate(x *sqlast.FuncCall, sc *scope) (compiledExpr
 		if distinct {
 			seen = make(map[string]struct{})
 		}
-		sub := &rowCtx{parent: ctx.parent, depth: ctx.depth}
+		sub := &rowCtx{parent: ctx.parent, depth: ctx.depth, qctx: ctx.qctx}
 		for _, row := range ctx.grp.rows {
 			sub.row = row
 			v, err := argFn(sub)

@@ -1,6 +1,7 @@
 package sqleval
 
 import (
+	"context"
 	"sort"
 
 	"cyclesql/internal/sqltypes"
@@ -12,12 +13,16 @@ type record struct {
 	keys sqltypes.Row
 }
 
-func (ex *Executor) projectPlain(cc *compiledCore, rows []sqltypes.Row, outer *rowCtx, depth int) (*sqltypes.Relation, error) {
+func (ex *Executor) projectPlain(ctx context.Context, cc *compiledCore, rows []sqltypes.Row, outer *rowCtx, depth int) (*sqltypes.Relation, error) {
 	records := make([]record, 0, len(rows))
-	ctx := &rowCtx{parent: outer, depth: depth}
+	cancel := cancelCheck{ctx: ctx}
+	rc := &rowCtx{parent: outer, depth: depth, qctx: ctx}
 	for _, row := range rows {
-		ctx.row = row
-		rec, err := projectRecord(cc, ctx)
+		if err := cancel.poll(); err != nil {
+			return nil, err
+		}
+		rc.row = row
+		rec, err := projectRecord(cc, rc)
 		if err != nil {
 			return nil, err
 		}
@@ -26,7 +31,8 @@ func (ex *Executor) projectPlain(cc *compiledCore, rows []sqltypes.Row, outer *r
 	return finalize(cc, records)
 }
 
-func (ex *Executor) projectGrouped(cc *compiledCore, rows []sqltypes.Row, outer *rowCtx, depth int) (*sqltypes.Relation, error) {
+func (ex *Executor) projectGrouped(ctx context.Context, cc *compiledCore, rows []sqltypes.Row, outer *rowCtx, depth int) (*sqltypes.Relation, error) {
+	cancel := cancelCheck{ctx: ctx}
 	// Partition rows into groups, keyed by the binary encoding of the
 	// GROUP BY values; insertion order is preserved.
 	var groups []groupRows
@@ -34,13 +40,16 @@ func (ex *Executor) projectGrouped(cc *compiledCore, rows []sqltypes.Row, outer 
 		groups = []groupRows{{rows: rows}}
 	} else {
 		idx := make(map[string]int)
-		ctx := &rowCtx{parent: outer, depth: depth}
+		rc := &rowCtx{parent: outer, depth: depth, qctx: ctx}
 		var buf []byte
 		for _, row := range rows {
-			ctx.row = row
+			if err := cancel.poll(); err != nil {
+				return nil, err
+			}
+			rc.row = row
 			buf = buf[:0]
 			for _, fn := range cc.groupBy {
-				v, err := fn(ctx)
+				v, err := fn(rc)
 				if err != nil {
 					return nil, err
 				}
@@ -56,18 +65,21 @@ func (ex *Executor) projectGrouped(cc *compiledCore, rows []sqltypes.Row, outer 
 		}
 	}
 	records := make([]record, 0, len(groups))
-	ctx := &rowCtx{parent: outer, depth: depth}
+	rc := &rowCtx{parent: outer, depth: depth, qctx: ctx}
 	for gi := range groups {
+		if err := cancel.poll(); err != nil {
+			return nil, err
+		}
 		g := &groups[gi]
 		if len(g.rows) == 0 {
 			// Empty input with aggregates: a single all-NULL pseudo row.
-			ctx.row = make(sqltypes.Row, cc.width)
+			rc.row = make(sqltypes.Row, cc.width)
 		} else {
-			ctx.row = g.rows[0]
+			rc.row = g.rows[0]
 		}
-		ctx.grp = g
+		rc.grp = g
 		if cc.having != nil {
-			v, err := cc.having(ctx)
+			v, err := cc.having(rc)
 			if err != nil {
 				return nil, err
 			}
@@ -75,7 +87,7 @@ func (ex *Executor) projectGrouped(cc *compiledCore, rows []sqltypes.Row, outer 
 				continue
 			}
 		}
-		rec, err := projectRecord(cc, ctx)
+		rec, err := projectRecord(cc, rc)
 		if err != nil {
 			return nil, err
 		}

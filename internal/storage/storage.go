@@ -10,7 +10,14 @@
 // number of goroutines (index.go guards the lazy builds). Writers
 // (Insert, MustInsert, Mutate) still require exclusion from readers and
 // from each other: they mutate relation contents in place, and a query
-// racing a row append would read a torn table.
+// racing a row append would read a torn table. Both parallelism levels
+// above this package — concurrent candidate verification inside one
+// core.Pipeline.Translate and the cross-example batch sweep in
+// internal/experiments — lean on the reader half of this contract: they
+// only ever read benchmark databases built before the sweep starts.
+// Clones are fully isolated (rows, and each clone builds its own
+// indexes), so the test-suite metric's perturbed copies can be read or
+// even mutated without affecting the original.
 package storage
 
 import (
