@@ -282,12 +282,12 @@ func mustParse(b *testing.B, sql string) *sqlast.SelectStmt {
 func loopBench(b *testing.B, parallelism int, verifyLatency time.Duration) {
 	bench := datasets.Spider()
 	dev := bench.Dev[:16]
-	reject := nli.Func{Label: "reject-all", Fn: func(string, nli.Premise) bool {
-		if verifyLatency > 0 {
-			time.Sleep(verifyLatency)
-		}
-		return false
-	}}
+	var reject nli.Verifier = nli.Func{Label: "reject-all", Fn: func(string, nli.Premise) bool { return false }}
+	if verifyLatency > 0 {
+		// nli.Latency is context-aware, so a candidate the loop cancels
+		// abandons its simulated inference mid-wait, as in deployment.
+		reject = nli.Latency{V: reject, D: verifyLatency}
+	}
 	p := core.NewPipeline(nl2sql.MustByName("resdsql-3b"), reject, bench.Name)
 	p.Parallelism = parallelism
 	var overhead time.Duration
@@ -332,12 +332,10 @@ func BenchmarkTranslateLoopSimVerifyParallel8(b *testing.B)  { loopBench(b, 8, 2
 func sweepBench(b *testing.B, workers int, verifyLatency time.Duration) {
 	bench := datasets.Spider()
 	dev := bench.Dev[:24]
-	reject := nli.Func{Label: "reject-all", Fn: func(string, nli.Premise) bool {
-		if verifyLatency > 0 {
-			time.Sleep(verifyLatency)
-		}
-		return false
-	}}
+	var reject nli.Verifier = nli.Func{Label: "reject-all", Fn: func(string, nli.Premise) bool { return false }}
+	if verifyLatency > 0 {
+		reject = nli.Latency{V: reject, D: verifyLatency}
+	}
 	p := core.NewPipeline(nl2sql.MustByName("resdsql-3b"), reject, bench.Name)
 	batch := experiments.Batch{Workers: workers}
 	b.ResetTimer()

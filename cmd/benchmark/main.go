@@ -14,14 +14,18 @@
 // bit-identical to the sequential sweep; only measured-wall-clock columns
 // (Fig 8b's overhead) vary, as they do run to run regardless. -timeout
 // bounds one example's wall clock; an example that exceeds it fails the
-// run with a deadline error instead of hanging the regeneration.
+// run with a deadline error instead of hanging the regeneration. SIGINT
+// (^C) or SIGTERM aborts the sweep cleanly mid-example (exit code 130).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"cyclesql/internal/experiments"
@@ -58,11 +62,21 @@ func main() {
 		}
 		ids = []string{*exp}
 	}
-	ctx := context.Background()
+	// SIGINT/SIGTERM cancel the context; the whole stack below — the batch
+	// worker pool, the feedback loop, the SQL executor's inner loops —
+	// honors it, so one ^C aborts a long regeneration cleanly mid-sweep
+	// instead of leaving it to run out. A second signal kills the process
+	// the default way (NotifyContext unregisters after the first).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	for _, id := range ids {
 		start := time.Now()
 		table, err := experiments.Registry[id](ctx, lim)
 		if err != nil {
+			if errors.Is(err, context.Canceled) || ctx.Err() != nil {
+				fmt.Fprintf(os.Stderr, "%s: interrupted after %s\n", id, time.Since(start).Round(time.Millisecond))
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			os.Exit(1)
 		}

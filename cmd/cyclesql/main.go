@@ -14,7 +14,8 @@
 // The two parallelism knobs compose: -workers (with -all) overlaps whole
 // questions, -parallel overlaps the beam candidates inside each question's
 // feedback loop; per-question results are identical at any setting.
-// -timeout bounds one question's wall clock.
+// -timeout bounds one question's wall clock. SIGINT (^C) or SIGTERM
+// aborts the loop cleanly mid-query (exit code 130).
 package main
 
 import (
@@ -22,7 +23,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"cyclesql/internal/core"
@@ -87,14 +90,18 @@ func main() {
 	pipeline.BeamSize = *beam
 	pipeline.Parallelism = *parallel
 
+	// SIGINT/SIGTERM cancel the context the whole loop below honors, so ^C
+	// aborts a translation (or a full -all sweep) cleanly mid-query.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *all {
-		sweep(pipeline, bench, *dbName, *modelName, *workers, *timeout)
+		sweep(ctx, pipeline, bench, *dbName, *modelName, *workers, *timeout)
 		return
 	}
 	db := bench.DB(found.DBName)
 
 	fmt.Printf("Question: %s\nDatabase: %s   Model: %s\n\n", found.Question, found.DBName, *modelName)
-	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -102,6 +109,10 @@ func main() {
 	}
 	res, err := pipeline.Translate(ctx, *found, db)
 	if err != nil {
+		if ctx.Err() != nil && context.Cause(ctx) != context.DeadlineExceeded {
+			fmt.Fprintln(os.Stderr, "interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -130,8 +141,10 @@ func main() {
 
 // sweep runs the feedback loop over every dev question of one database on
 // the batched experiment runner, printing per-question verdicts in
-// benchmark order regardless of completion order.
-func sweep(pipeline *core.Pipeline, bench *datasets.Benchmark, dbName, modelName string, workers int, timeout time.Duration) {
+// benchmark order regardless of completion order. A cancelled ctx (^C)
+// fails the remaining questions with the context error and still prints
+// the summary for whatever completed.
+func sweep(ctx context.Context, pipeline *core.Pipeline, bench *datasets.Benchmark, dbName, modelName string, workers int, timeout time.Duration) {
 	var qs []datasets.Example
 	for _, ex := range bench.Dev {
 		if ex.DBName == dbName {
@@ -146,7 +159,7 @@ func sweep(pipeline *core.Pipeline, bench *datasets.Benchmark, dbName, modelName
 	results := make([]*core.Result, len(qs))
 	start := time.Now()
 	batch := experiments.Batch{Workers: workers, Timeout: timeout}
-	errs := batch.Run(context.Background(), len(qs), func(ctx context.Context, i int) error {
+	errs := batch.Run(ctx, len(qs), func(ctx context.Context, i int) error {
 		res, err := pipeline.Translate(ctx, qs[i], bench.DB(qs[i].DBName))
 		if err != nil {
 			return err

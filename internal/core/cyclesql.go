@@ -24,9 +24,11 @@
 // down — aborts the loop mid-query and Translate returns the context's
 // error. Internally the parallel path derives a per-call context that it
 // cancels as soon as a candidate validates, which aborts the in-flight
-// speculative executions of later candidates instead of letting them run
-// to completion; their discarded outcomes never affect the Result, so
-// the beam-order parity guarantee above is unchanged.
+// speculative work of later candidates — SQL executions mid-query, and,
+// through nli.VerifyContext, a context-aware verifier's simulated
+// inference mid-wait — instead of letting them run to completion; their
+// discarded outcomes never affect the Result, so the beam-order parity
+// guarantee above is unchanged.
 package core
 
 import (
@@ -131,9 +133,10 @@ type Result struct {
 	// Premises holds the feedback generated per examined candidate, in
 	// order; Premises[i] corresponds to Candidates[i].
 	Premises []nli.Premise
-	// Errors records, per examined candidate, why no premise could be
-	// generated ("" when feedback succeeded): "execute: ..." for SQL that
-	// failed to run, "explain: ..." for feedback generation failures.
+	// Errors records, per examined candidate, why no verdict could be
+	// reached ("" when the chain completed): "execute: ..." for SQL that
+	// failed to run, "explain: ..." for feedback generation failures,
+	// "verify: ..." for a verifier inference aborted by cancellation.
 	// Errors[i] corresponds to Candidates[i]. A premise-less candidate can
 	// still become Final through the top-1 fallback, so drivers use this
 	// to distinguish "failed to execute" from "examined but not verified".
@@ -281,10 +284,16 @@ type candOutcome struct {
 // examine runs the execute → explain → verify chain for one candidate.
 // Both the sequential loop and the parallel workers go through it, so the
 // two paths produce identical premises, errors and verdicts by
-// construction. A cancelled ctx surfaces as an "execute:"/"explain:"
-// error outcome; callers that care (the parallel committer discarding
-// in-flight losers, Translate's error return) check the context itself
-// rather than parsing the string.
+// construction. A cancelled ctx surfaces as an "execute:"/"explain:"/
+// "verify:" error outcome; callers that care (the parallel committer
+// discarding in-flight losers, Translate's error return) check the
+// context itself rather than parsing the string. The verdict runs through
+// nli.VerifyContext, so a verifier with real inference waits (an
+// nli.ContextVerifier, e.g. nli.Latency) abandons them the moment the
+// candidate can no longer win — the parallel path cancels stragglers once
+// an earlier candidate validates, which previously aborted only their SQL
+// execution and explanation, not a simulated verifier inference already
+// in flight.
 func (p *Pipeline) examine(ctx context.Context, question string, db *storage.Database, fb Feedback, executor *sqleval.Executor, cand nl2sql.Candidate) candOutcome {
 	rel, err := executor.ExecContext(ctx, cand.Stmt)
 	if err != nil {
@@ -296,7 +305,11 @@ func (p *Pipeline) examine(ctx context.Context, question string, db *storage.Dat
 	if err != nil {
 		return candOutcome{premise: nli.Premise{SQL: cand.SQL}, err: "explain: " + err.Error()}
 	}
-	return candOutcome{premise: premise, verified: p.Verifier.Verify(question, premise)}
+	verified, err := nli.VerifyContext(ctx, p.Verifier, question, premise)
+	if err != nil {
+		return candOutcome{premise: premise, err: "verify: " + err.Error()}
+	}
+	return candOutcome{premise: premise, verified: verified}
 }
 
 // Baseline returns the model's unassisted top-1 translation, the "Base"

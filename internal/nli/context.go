@@ -1,0 +1,81 @@
+package nli
+
+import (
+	"context"
+	"time"
+)
+
+// ContextVerifier is implemented by verifiers whose verdict can honor
+// cancellation — a deployment verifier is a model forward pass, so an
+// in-flight inference should be abandonable the moment its candidate can
+// no longer win (the CycleSQL loop cancels stragglers once an earlier
+// beam candidate validates). Verifiers without real waits (the trained
+// MLP, the strawmen) don't need it: VerifyContext below falls back to the
+// plain synchronous Verify for them.
+type ContextVerifier interface {
+	Verifier
+	// VerifyContext is Verify with cancellation: it returns the context's
+	// error — and an unspecified verdict — as soon as the context is done.
+	VerifyContext(ctx context.Context, hypothesis string, premise Premise) (bool, error)
+}
+
+// VerifyContext runs a verifier's verdict under a context: a context
+// already done short-circuits before any verifier work, a ContextVerifier
+// is handed the context to honor mid-inference, and any other Verifier
+// runs its plain synchronous Verify (it has no waits worth interrupting).
+func VerifyContext(ctx context.Context, v Verifier, hypothesis string, premise Premise) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	if cv, ok := v.(ContextVerifier); ok {
+		return cv.VerifyContext(ctx, hypothesis, premise)
+	}
+	return v.Verify(hypothesis, premise), nil
+}
+
+// Latency wraps a verifier with simulated per-inference latency — the
+// Fig 8b substitution applied to the verifier (the paper's verifier is a
+// T5-Large forward pass; this repository has no GPU). The wait is charged
+// before the wrapped verdict and honors cancellation, so an aborted
+// candidate abandons the simulated inference mid-wait exactly as a real
+// serving stack would abandon a forward pass. Score passes through
+// without the wait: scores are display/diagnostic reads, not inferences
+// the loop charges.
+type Latency struct {
+	V Verifier
+	D time.Duration
+}
+
+// Name implements Verifier.
+func (l Latency) Name() string { return l.V.Name() }
+
+// Score implements Verifier.
+func (l Latency) Score(hypothesis string, premise Premise) float64 {
+	return l.V.Score(hypothesis, premise)
+}
+
+// Verify implements Verifier: the full simulated wait, then the wrapped
+// verdict.
+func (l Latency) Verify(hypothesis string, premise Premise) bool {
+	if l.D > 0 {
+		time.Sleep(l.D)
+	}
+	return l.V.Verify(hypothesis, premise)
+}
+
+// VerifyContext implements ContextVerifier: the wait aborts — returning
+// the context's error — as soon as the context is done, and the wrapped
+// verdict runs under the same context, so a context-aware inner verifier
+// (another Latency, a real inference client) stays cancellable too.
+func (l Latency) VerifyContext(ctx context.Context, hypothesis string, premise Premise) (bool, error) {
+	if l.D > 0 {
+		t := time.NewTimer(l.D)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return false, ctx.Err()
+		case <-t.C:
+		}
+	}
+	return VerifyContext(ctx, l.V, hypothesis, premise)
+}

@@ -119,18 +119,91 @@ func BenchmarkScanJoinReuse(b *testing.B) {
 	benchExecPath(b, joinReuseSQL, 2000, 400, true)
 }
 
+// rangeTopKSQL is the canonical sorted-index shape: a range conjunct
+// lowered to an index span, streamed in order, cut off at the LIMIT. The
+// scan path filters 2000 rows, materializes ~1000 projected records, and
+// sorts them for the 5 it keeps.
+const rangeTopKSQL = "SELECT flno, origin FROM flight WHERE flno > 1000 ORDER BY flno LIMIT 5"
+
+// topKSQL is ORDER BY pk LIMIT k without a predicate: the scan path
+// materializes and sorts every row; the streamed path projects exactly 3.
+const topKSQL = "SELECT flno, origin FROM flight ORDER BY flno DESC LIMIT 3"
+
+// rangeCountSQL is a pure range probe (no ordering): the win here is the
+// skipped scan, visible in ns/op rather than allocations.
+const rangeCountSQL = "SELECT count(*) FROM flight WHERE flno > 1800"
+
+// compositeJoinSQL is a two-key equi-join whose build side is a whole base
+// table: the indexed path probes the table's composite index; the scan
+// path rebuilds a multi-key hash table (one string key per build row) on
+// every execution.
+const compositeJoinSQL = "SELECT count(*) FROM flight AS T1 JOIN aircraft AS T2 ON T1.aid = T2.aid AND T1.flno = T2.distance"
+
+// BenchmarkIndexRangeTopK measures a range conjunct + ORDER BY LIMIT
+// streamed off the sorted index.
+func BenchmarkIndexRangeTopK(b *testing.B) {
+	benchExecPath(b, rangeTopKSQL, 50, 2000, false)
+}
+
+// BenchmarkScanRangeTopK is the same query with indexes disabled:
+// filter-materialize-sort.
+func BenchmarkScanRangeTopK(b *testing.B) {
+	benchExecPath(b, rangeTopKSQL, 50, 2000, true)
+}
+
+// BenchmarkIndexTopK measures ORDER BY pk LIMIT k streamed off the sorted
+// index (descending, so the walk emits equal-value runs back to front).
+func BenchmarkIndexTopK(b *testing.B) {
+	benchExecPath(b, topKSQL, 50, 2000, false)
+}
+
+// BenchmarkScanTopK is the same query with indexes disabled: a full
+// materialize-and-sort for 3 output rows.
+func BenchmarkScanTopK(b *testing.B) {
+	benchExecPath(b, topKSQL, 50, 2000, true)
+}
+
+// BenchmarkIndexRangeCount measures a pure range probe.
+func BenchmarkIndexRangeCount(b *testing.B) {
+	benchExecPath(b, rangeCountSQL, 50, 2000, false)
+}
+
+// BenchmarkScanRangeCount is the same range with indexes disabled.
+func BenchmarkScanRangeCount(b *testing.B) {
+	benchExecPath(b, rangeCountSQL, 50, 2000, true)
+}
+
+// BenchmarkIndexCompositeJoin measures a multi-key equi-join served by the
+// build table's composite index.
+func BenchmarkIndexCompositeJoin(b *testing.B) {
+	benchExecPath(b, compositeJoinSQL, 2000, 400, false)
+}
+
+// BenchmarkScanCompositeJoin is the same join with indexes disabled, so
+// the multi-key hash table is reconstructed per execution.
+func BenchmarkScanCompositeJoin(b *testing.B) {
+	benchExecPath(b, compositeJoinSQL, 2000, 400, true)
+}
+
 // TestIndexAllocRegressionGate enforces the indexed paths' acceptance bar
-// inside the regular test suite: the point-lookup probe and the reused
-// build-side join must allocate at least 5x less per execution than the
+// inside the regular test suite: the point-lookup probe, the reused
+// build-side joins (single-key and composite), and the sorted-index
+// range/top-k paths must allocate at least 5x less per execution than the
 // scan paths. AllocsPerRun is deterministic here (steady-state executions
-// of cached plans), so the gate cannot flake; BENCH_PR2.json records the
-// full timed numbers.
+// of cached plans), so the gate cannot flake; BENCH_PR2.json and
+// BENCH_PR5.json record the full timed numbers.
 func TestIndexAllocRegressionGate(t *testing.T) {
-	for _, tc := range []struct{ name, sql string }{
-		{"point lookup", pointLookupSQL},
-		{"join reuse", joinReuseSQL},
+	for _, tc := range []struct {
+		name, sql           string
+		nAircraft, nFlights int
+	}{
+		{"point lookup", pointLookupSQL, 2000, 400},
+		{"join reuse", joinReuseSQL, 2000, 400},
+		{"range top-k", rangeTopKSQL, 50, 2000},
+		{"order-by top-k", topKSQL, 50, 2000},
+		{"composite join", compositeJoinSQL, 2000, 400},
 	} {
-		db := benchDB(t, 2000, 400)
+		db := benchDB(t, tc.nAircraft, tc.nFlights)
 		stmt, err := sqlparse.Parse(tc.sql)
 		if err != nil {
 			t.Fatal(err)

@@ -3,6 +3,7 @@ package sqleval
 import (
 	"context"
 	"fmt"
+	"slices"
 	"strings"
 
 	"cyclesql/internal/sqlast"
@@ -102,8 +103,11 @@ type compiledCore struct {
 	groupBy     []compiledExpr
 	having      compiledExpr
 	orderKeys   []orderKey
-	hasAgg      bool
-	width       int
+	// stream, when non-nil, lowers ORDER BY (and LIMIT/OFFSET) into a walk
+	// of the base table's sorted index instead of materialize-and-sort.
+	stream *streamPlan
+	hasAgg bool
+	width  int
 }
 
 func (cc *compiledCore) labels() []string {
@@ -116,14 +120,16 @@ func (cc *compiledCore) labels() []string {
 
 // tableScan is one FROM entry: a base table (resolved to its live relation
 // at compile time) or a compiled derived table. A base-table scan may carry
-// a point probe (WHERE col = literal lowered at compile time); execution
-// then reads the matching rows off the column's secondary index instead of
-// scanning Relation.Rows.
+// a point probe (WHERE col = literal lowered at compile time) or a range
+// probe (comparison/BETWEEN conjuncts on one column); execution then reads
+// the matching rows off the column's secondary (hash or sorted) index
+// instead of scanning Relation.Rows. At most one of probe/rprobe is set.
 type tableScan struct {
 	rel    *sqltypes.Relation // base table; nil for derived tables
 	sub    *program           // derived table; nil for base tables
 	table  string             // base-table name for index lookups; "" for derived
 	probe  *scanProbe         // optional point probe on a base table
+	rprobe *rangeProbe        // optional range probe on a base table
 	offset int
 	width  int
 }
@@ -133,6 +139,25 @@ type tableScan struct {
 type scanProbe struct {
 	col int
 	key []byte
+}
+
+// rangeProbe is a compiled range lookup on one column of a base table:
+// up to two literal bounds, each inclusive or exclusive. Both bounds on
+// one probe means an intersection (BETWEEN, or two one-sided conjuncts on
+// the same column). nil bounds are unbounded on that side.
+type rangeProbe struct {
+	col            int
+	lo, hi         *sqltypes.Value
+	loIncl, hiIncl bool
+}
+
+// streamPlan marks a core whose single ORDER BY key is a column of its
+// single base-table scan, so execution can walk the column's sorted index
+// (optionally restricted to the scan's same-column range probe) instead of
+// materializing every row and sorting — and stop early under LIMIT.
+type streamPlan struct {
+	col  int // column offset within the base table's own row
+	desc bool
 }
 
 func (ts *tableScan) rows(ctx context.Context, ex *Executor, outer *rowCtx, depth int) ([]sqltypes.Row, bool, error) {
@@ -145,6 +170,21 @@ func (ts *tableScan) rows(ctx context.Context, ex *Executor, outer *rowCtx, dept
 	}
 	if ts.probe != nil {
 		ids := ex.db.Index(ts.table, ts.probe.col).Lookup(ts.probe.key)
+		matched := make([]sqltypes.Row, len(ids))
+		for i, ri := range ids {
+			matched[i] = ts.rel.Rows[ri]
+		}
+		return matched, true, nil
+	}
+	if ts.rprobe != nil {
+		rp := ts.rprobe
+		span := ex.db.Sorted(ts.table, rp.col).Range(rp.lo, rp.hi, rp.loIncl, rp.hiIncl)
+		// The span is in value order; the filter path this probe replaces
+		// keeps rows in scan order, so re-sort the positions before
+		// materializing (the span slice is shared — copy first).
+		ids := make([]int32, len(span))
+		copy(ids, span)
+		slices.Sort(ids)
 		matched := make([]sqltypes.Row, len(ids))
 		for i, ri := range ids {
 			matched[i] = ts.rel.Rows[ri]
@@ -250,12 +290,36 @@ func (c *compiler) compileCore(core *sqlast.SelectCore, parent *scope) (*compile
 	cc.width = sc.width
 
 	// WHERE splits into conjuncts; col = literal conjuncts become index
-	// probes on their scan, and, for all-inner-join cores, equi conjuncts
-	// across tables become join keys and fully-bound conjuncts filter at the
+	// probes on their scan, comparison/BETWEEN conjuncts become sorted-index
+	// range probes, and, for all-inner-join cores, equi conjuncts across
+	// tables become join keys and fully-bound conjuncts filter at the
 	// earliest scan or join where their columns exist. LEFT JOIN disables
 	// the pushdown: filtering before null extension would change results.
-	for _, conj := range sqlast.Conjuncts(core.Where) {
-		if c.probeConjunct(cc, sc, conj, allInner) {
+	// Point probes claim their scans first (a point lookup subsumes any
+	// range on the same column), then WHERE-derived equi-join keys are
+	// extracted — before the range pass, so rangeConjunct's build-side
+	// guard sees a join's full key set whether the keys were spelled in ON
+	// or in WHERE — then range conjuncts, then everything unclaimed flows
+	// through pushdown/filtering in its original order.
+	conjs := sqlast.Conjuncts(core.Where)
+	claimed := make([]bool, len(conjs))
+	for i, conj := range conjs {
+		claimed[i] = c.probeConjunct(cc, sc, conj, allInner)
+	}
+	if allInner && len(cc.scans) > 1 && !c.ex.NestedLoopOnly {
+		for i, conj := range conjs {
+			if !claimed[i] {
+				claimed[i] = c.pushEquiKey(cc, sc, conj)
+			}
+		}
+	}
+	for i, conj := range conjs {
+		if !claimed[i] {
+			claimed[i] = c.rangeConjunct(cc, sc, conj, allInner)
+		}
+	}
+	for i, conj := range conjs {
+		if claimed[i] {
 			continue
 		}
 		if allInner && len(cc.scans) > 1 && !c.ex.NestedLoopOnly {
@@ -301,7 +365,56 @@ func (c *compiler) compileCore(core *sqlast.SelectCore, parent *scope) (*compile
 		}
 		cc.orderKeys = append(cc.orderKeys, ok)
 	}
+	c.lowerStream(cc, core, sc)
 	return cc, nil
+}
+
+// lowerStream recognizes cores whose ordering can stream off a sorted
+// index: a single base-table scan, no grouping/aggregation/DISTINCT, and a
+// single ORDER BY key that is a plain column of that table. The streamed
+// walk visits rows in (value, scan-position) order — exactly the order the
+// stable sort in finalize leaves them — so the paths are bit-identical;
+// under LIMIT the walk additionally stops early instead of materializing
+// and sorting every row. A same-column range probe composes (the walk
+// starts inside the probed span); any other probe keeps the regular path,
+// which is already pre-filtered by the index.
+func (c *compiler) lowerStream(cc *compiledCore, core *sqlast.SelectCore, sc *scope) {
+	if c.ex.NoIndexes || c.ex.NestedLoopOnly {
+		return
+	}
+	if core.Distinct || cc.hasAgg || len(cc.groupBy) > 0 || len(cc.scans) != 1 {
+		return
+	}
+	ts := cc.scans[0]
+	if ts.rel == nil || ts.table == "" || ts.probe != nil {
+		return
+	}
+	if len(core.OrderBy) != 1 {
+		return
+	}
+	cr, ok := core.OrderBy[0].Expr.(*sqlast.ColumnRef)
+	if !ok || cr.Column == "*" {
+		return
+	}
+	if cr.Table == "" {
+		// An unqualified key naming a projection alias sorts by the
+		// projected value (orderKeyExpr's alias rule), which may differ
+		// from the same-named table column; leave those to the sort.
+		for _, it := range core.Items {
+			if it.Alias != "" && strings.EqualFold(it.Alias, cr.Column) {
+				return
+			}
+		}
+	}
+	depth, idx, found := sc.resolve(cr.Table, cr.Column)
+	if !found || depth != 0 {
+		return
+	}
+	col := idx - ts.offset
+	if ts.rprobe != nil && ts.rprobe.col != col {
+		return
+	}
+	cc.stream = &streamPlan{col: col, desc: core.OrderBy[0].Desc}
 }
 
 func (c *compiler) compileScan(ref sqlast.TableRef, parent *scope) (*tableScan, []string, error) {
@@ -387,11 +500,43 @@ func (c *compiler) equiKey(conj sqlast.Expr, sc *scope, ts *tableScan) (accIdx, 
 	}
 }
 
+// pushEquiKey claims a WHERE conjunct that is an equi-join key pair (a.x =
+// b.y across tables), appending it to the join that completes its
+// bindings. It runs before range lowering (see compileCore) so every
+// join's key set is complete when rangeConjunct decides whether a scan
+// serves as a reused index build side; keys keep their conjunct order, so
+// composite key sequences are unchanged from the single-pass lowering.
+func (c *compiler) pushEquiKey(cc *compiledCore, sc *scope, conj sqlast.Expr) bool {
+	maxOff, depth0Only, resolvable := c.conjunctSpan(conj, sc)
+	if !resolvable || !depth0Only {
+		return false
+	}
+	joinIdx := -1
+	for i := 1; i < len(cc.scans); i++ {
+		if maxOff >= cc.scans[i].offset {
+			joinIdx = i - 1
+		}
+	}
+	if joinIdx < 0 {
+		return false
+	}
+	jp := cc.joins[joinIdx]
+	accIdx, newIdx, ok := c.equiKey(conj, sc, cc.scans[joinIdx+1])
+	if !ok {
+		return false
+	}
+	jp.eqAcc = append(jp.eqAcc, accIdx)
+	jp.eqNew = append(jp.eqNew, newIdx)
+	return true
+}
+
 // pushConjunct tries to evaluate a WHERE conjunct earlier: equi conjuncts
 // across two tables become join keys, fully-bound conjuncts attach to the
 // base scan or the join that completes their bindings. Returns false when
 // the conjunct must stay in the post-join filter (correlated references,
 // bare stars, or resolution failures that should error in compileExpr).
+// Equi keys are normally claimed by the earlier pushEquiKey pass; the
+// equiKey attempt here is kept for self-containedness.
 func (c *compiler) pushConjunct(cc *compiledCore, sc *scope, conj sqlast.Expr) bool {
 	maxOff, depth0Only, resolvable := c.conjunctSpan(conj, sc)
 	if !resolvable || !depth0Only {
@@ -474,6 +619,134 @@ func (c *compiler) probeConjunct(cc *compiledCore, sc *scope, conj sqlast.Expr, 
 	}
 	ts.probe = &scanProbe{col: idx - ts.offset, key: key}
 	return true
+}
+
+// rangeConjunct recognizes WHERE conjuncts of the form col OP literal for
+// OP in <, <=, >, >= (either operand order — a literal-first comparison
+// flips), and col BETWEEN lo AND hi with literal bounds, and lowers them
+// into a sorted-index range probe on the column's base-table scan. The
+// probe fully subsumes the conjunct: the sorted index orders rows by
+// sqltypes.Compare — the exact relation the comparison operators test —
+// and NULL rows sit outside every span, matching the operators' NULL
+// rejection. Two one-sided conjuncts on the same column merge into one
+// two-bound probe; anything that cannot claim a free bound stays a filter.
+// The same eligibility rules as point probes apply: base-table scans only,
+// and non-base scans only under all-inner joins (pre-filtering a LEFT JOIN
+// right side would change null extension).
+func (c *compiler) rangeConjunct(cc *compiledCore, sc *scope, conj sqlast.Expr, allInner bool) bool {
+	if c.ex.NoIndexes || c.ex.NestedLoopOnly {
+		return false
+	}
+	var cr *sqlast.ColumnRef
+	var lo, hi *sqltypes.Value
+	var loIncl, hiIncl bool
+	switch x := conj.(type) {
+	case *sqlast.Binary:
+		ref, lit, op := rangeOperands(x)
+		if ref == nil || lit.Value.IsNull() {
+			return false
+		}
+		cr = ref
+		v := lit.Value
+		switch op {
+		case "<":
+			hi = &v
+		case "<=":
+			hi, hiIncl = &v, true
+		case ">":
+			lo = &v
+		case ">=":
+			lo, loIncl = &v, true
+		}
+	case *sqlast.BetweenExpr:
+		if x.Not {
+			return false
+		}
+		ref, ok := x.X.(*sqlast.ColumnRef)
+		if !ok {
+			return false
+		}
+		loLit, loOk := x.Lo.(*sqlast.Literal)
+		hiLit, hiOk := x.Hi.(*sqlast.Literal)
+		if !loOk || !hiOk || loLit.Value.IsNull() || hiLit.Value.IsNull() {
+			return false
+		}
+		cr = ref
+		lv, hv := loLit.Value, hiLit.Value
+		lo, loIncl, hi, hiIncl = &lv, true, &hv, true
+	default:
+		return false
+	}
+	if cr.Column == "*" {
+		return false
+	}
+	depth, idx, found := sc.resolve(cr.Table, cr.Column)
+	if !found || depth != 0 {
+		return false
+	}
+	si := 0
+	for i := 1; i < len(cc.scans); i++ {
+		if idx >= cc.scans[i].offset {
+			si = i
+		}
+	}
+	ts := cc.scans[si]
+	if ts.table == "" || ts.probe != nil {
+		return false
+	}
+	// A non-base scan may only be pre-filtered under all-inner joins (as
+	// with point probes), and not when its join already has equi keys:
+	// those scans serve as reused index build sides, and pre-filtering
+	// would force the hash table to be rebuilt per execution — worse, in
+	// the repeated-execution regime, than filtering in the join residual.
+	if si > 0 && (!allInner || len(cc.joins[si-1].eqNew) > 0) {
+		return false
+	}
+	col := idx - ts.offset
+	rp := ts.rprobe
+	if rp == nil {
+		ts.rprobe = &rangeProbe{col: col, lo: lo, hi: hi, loIncl: loIncl, hiIncl: hiIncl}
+		return true
+	}
+	if rp.col != col {
+		return false
+	}
+	// Merge into the existing probe only when every bound this conjunct
+	// carries lands in a free slot; a partial merge would leave half the
+	// conjunct unchecked.
+	if (lo != nil && rp.lo != nil) || (hi != nil && rp.hi != nil) {
+		return false
+	}
+	if lo != nil {
+		rp.lo, rp.loIncl = lo, loIncl
+	}
+	if hi != nil {
+		rp.hi, rp.hiIncl = hi, hiIncl
+	}
+	return true
+}
+
+// rangeOperands extracts the (column, literal) pair of an ordering
+// comparison, flipping the operator when the literal is on the left
+// ("5 > col" probes like "col < 5").
+func rangeOperands(b *sqlast.Binary) (*sqlast.ColumnRef, *sqlast.Literal, string) {
+	switch b.Op {
+	case "<", "<=", ">", ">=":
+	default:
+		return nil, nil, ""
+	}
+	if cr, ok := b.L.(*sqlast.ColumnRef); ok {
+		if lit, ok := b.R.(*sqlast.Literal); ok {
+			return cr, lit, b.Op
+		}
+	}
+	if cr, ok := b.R.(*sqlast.ColumnRef); ok {
+		if lit, ok := b.L.(*sqlast.Literal); ok {
+			flip := map[string]string{"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+			return cr, lit, flip[b.Op]
+		}
+	}
+	return nil, nil, ""
 }
 
 // probeOperands extracts the (column, literal) pair of an = comparison,

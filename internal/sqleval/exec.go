@@ -7,17 +7,21 @@
 // The executor is a two-phase compile-and-execute engine. The compile
 // phase (compile.go) runs once per statement: it resolves every column
 // reference to a fixed frame coordinate, expands stars, detects equi-join
-// keys in ON and WHERE, lowers col = literal conjuncts into secondary-index
-// probes, pushes the remaining filters below inner joins, and lowers every
-// expression into a closure. The execute phase reads point lookups straight
-// off lazily built storage column indexes, streams rows through hash
-// equi-joins (single-column build sides reuse the table's column index
-// instead of rebuilding a hash table per execution; otherwise the build
-// side is chosen by cardinality, with a nested-loop fallback for non-equi
-// conditions), evaluates the pre-bound closures directly against flat rows
-// — no per-row environment allocation, no name lookups — and uses compact
-// binary row keys (sqltypes.AppendKey) for every dedup, grouping, and
-// join-matching structure. Compiled plans are cached per executor, first by
+// keys in ON and WHERE, lowers col = literal conjuncts into hash-index
+// point probes and comparison/BETWEEN conjuncts into sorted-index range
+// probes, recognizes ORDER BY col [LIMIT k] orderings that can stream off
+// a sorted index, pushes the remaining filters below inner joins, and
+// lowers every expression into a closure. The execute phase reads point
+// lookups and range spans straight off lazily built storage indexes,
+// streams ordered output (stream.go) in index order with early cutoff
+// under LIMIT, streams rows through hash equi-joins (single-column build
+// sides reuse the table's column index and multi-key build sides its
+// composite index instead of rebuilding a hash table per execution;
+// otherwise the build side is chosen by cardinality, with a nested-loop
+// fallback for non-equi conditions), evaluates the pre-bound closures
+// directly against flat rows — no per-row environment allocation, no name
+// lookups — and uses compact binary row keys (sqltypes.AppendKey) for
+// every dedup, grouping, and join-matching structure. Compiled plans are cached per executor, first by
 // statement identity and then by canonical SQL (sqlnorm.CacheKey), so
 // re-executing a statement — or a textually identical candidate arriving
 // as a distinct AST from another beam — skips straight to execution.
@@ -271,6 +275,9 @@ func combine(l, r *sqltypes.Relation, op sqlast.CompoundOp) (*sqltypes.Relation,
 }
 
 func (ex *Executor) runCore(ctx context.Context, cc *compiledCore, outer *rowCtx, depth int) (*sqltypes.Relation, error) {
+	if cc.stream != nil {
+		return ex.runStream(ctx, cc, outer, depth)
+	}
 	rows, owned, err := ex.buildFrom(ctx, cc, outer, depth)
 	if err != nil {
 		return nil, err
@@ -441,15 +448,21 @@ func (ex *Executor) execJoin(ctx context.Context, acc []sqltypes.Row, accW int, 
 	}
 
 	var buf []byte
-	if !ex.NoIndexes && len(jp.eqAcc) == 1 && next.sub == nil && next.probe == nil {
-		// The build side is a whole base table joined on one column: reuse
-		// (or lazily build, once per database) its column index instead of
+	if !ex.NoIndexes && next.sub == nil && next.probe == nil && next.rprobe == nil {
+		// The build side is a whole base table: reuse (or lazily build, once
+		// per database) its column index — or, for multi-key joins, its
+		// composite index over the exact key-column sequence — instead of
 		// hashing the table again on every execution. Index buckets hold
 		// row positions in scan order, so output order matches the generic
 		// paths, and buckets and probe keys share the Compare-consistent
 		// AppendCompareKey encoding the generic paths use, so the matched
 		// pairs are bit-identical too.
-		ix := ex.db.Index(next.table, jp.eqNew[0])
+		lookup := func() func([]byte) []int32 {
+			if len(jp.eqNew) == 1 {
+				return ex.db.Index(next.table, jp.eqNew[0]).Lookup
+			}
+			return ex.db.Composite(next.table, jp.eqNew).Lookup
+		}()
 		for _, lrow := range acc {
 			if err := cancel.poll(); err != nil {
 				return nil, err
@@ -458,7 +471,7 @@ func (ex *Executor) execJoin(ctx context.Context, acc []sqltypes.Row, accW int, 
 			matched := false
 			if key, ok := lrow.AppendCompareKeyCols(buf[:0], jp.eqAcc); ok {
 				buf = key
-				for _, ri := range ix.Lookup(key) {
+				for _, ri := range lookup(key) {
 					hit, err := tryPair(right[ri])
 					if err != nil {
 						return nil, err

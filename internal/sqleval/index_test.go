@@ -139,6 +139,9 @@ func TestPlanCacheSharedAcrossIdenticalASTs(t *testing.T) {
 	if reordered := parse("SELECT flno FROM Flight WHERE aid > 2 AND origin = 'Chicago'"); reordered != base {
 		t.Fatal("commutative conjunct order must fold into the same plan")
 	}
+	if flipped := parse("SELECT flno FROM Flight WHERE origin = 'Chicago' AND 2 < aid"); flipped != base {
+		t.Fatal("literal-first range spellings must orient onto the same plan")
+	}
 	if literal := parse("SELECT flno FROM Flight WHERE origin = 'Boston' AND aid > 2"); literal == base {
 		t.Fatal("different literals must not share a plan")
 	}

@@ -76,6 +76,7 @@ func CacheKey(stmt *sqlast.SelectStmt) string {
 
 func cacheNormalizeCore(core *sqlast.SelectCore) {
 	foldIdentifierCase(core)
+	orientComparisons(core)
 	// Normalize nested statements before sorting the outer conjuncts: the
 	// sort compares rendered SQL, so subqueries must already be in their
 	// canonical spelling or case-variant subqueries would order conjuncts
@@ -90,6 +91,50 @@ func cacheNormalizeCore(core *sqlast.SelectCore) {
 		return sqlast.ExprSQL(conj[i]) < sqlast.ExprSQL(conj[j])
 	})
 	core.Where = sqlast.FromAnd(conj)
+}
+
+// flippedCmp maps each comparison operator to its operand-swapped spelling.
+var flippedCmp = map[string]string{
+	"=": "=", "!=": "!=", "<>": "<>",
+	"<": ">", "<=": ">=", ">": "<", ">=": "<=",
+}
+
+// orientComparisons rewrites literal-first comparisons in predicate
+// positions (WHERE, HAVING, ON) into the column-first spelling — "5 > a"
+// becomes "a < 5" — so range and equality predicates hit the same cache
+// key regardless of operand order. The executor lowers both spellings into
+// the same probes and evaluates both to the same tri-state verdict, so the
+// shared plan is observably identical. Projection items are left alone:
+// their rendered SQL doubles as the output column label, which is
+// observable.
+func orientComparisons(core *sqlast.SelectCore) {
+	orient := func(e sqlast.Expr) {
+		sqlast.WalkExpr(e, func(e sqlast.Expr) bool {
+			b, ok := e.(*sqlast.Binary)
+			if !ok {
+				return true
+			}
+			flipped, cmp := flippedCmp[b.Op]
+			if !cmp {
+				return true
+			}
+			if _, lLit := b.L.(*sqlast.Literal); !lLit {
+				return true
+			}
+			if _, rLit := b.R.(*sqlast.Literal); rLit {
+				return true // constant comparison: nothing to orient around
+			}
+			b.L, b.R, b.Op = b.R, b.L, flipped
+			return true
+		})
+	}
+	orient(core.Where)
+	orient(core.Having)
+	if core.From != nil {
+		for i := range core.From.Joins {
+			orient(core.From.Joins[i].On)
+		}
+	}
 }
 
 // foldIdentifierCase lower-cases table, alias, and column identifiers in

@@ -187,3 +187,38 @@ func TestCacheKeySubqueryCaseCannotReorderConjuncts(t *testing.T) {
 		t.Error("subqueries must be canonicalized before the outer conjunct sort")
 	}
 }
+
+func TestCacheKeyOrientsLiteralFirstComparisons(t *testing.T) {
+	a := cacheKey(t, "SELECT name FROM singer WHERE age < 30")
+	b := cacheKey(t, "SELECT name FROM singer WHERE 30 > age")
+	if a != b {
+		t.Error("literal-first comparisons must orient onto the column-first key")
+	}
+	c := cacheKey(t, "SELECT name FROM singer WHERE 30 >= age")
+	if a == c {
+		t.Error("orientation must flip the operator, not just swap operands")
+	}
+	if cacheKey(t, "SELECT name FROM singer WHERE 5 = age") != cacheKey(t, "SELECT name FROM singer WHERE age = 5") {
+		t.Error("literal-first equality must orient too")
+	}
+	// Range pairs spelled in either orientation and order share one key.
+	d := cacheKey(t, "SELECT name FROM singer WHERE age > 20 AND age < 30")
+	e := cacheKey(t, "SELECT name FROM singer WHERE 30 > age AND 20 < age")
+	if d != e {
+		t.Error("range predicate pairs must fold regardless of spelling and order")
+	}
+	// Constant comparisons and projection items are left alone.
+	if cacheKey(t, "SELECT 5 > age FROM singer") == cacheKey(t, "SELECT age < 5 FROM singer") {
+		t.Error("projection items carry observable labels and must not orient")
+	}
+}
+
+func TestCacheKeyOrientationPreservesSemantics(t *testing.T) {
+	// EM canonicalization (Normalize) is untouched by cache-key orientation.
+	a := sqlparse.MustParse("SELECT name FROM singer WHERE 30 > age")
+	before := Canonical(a)
+	_ = CacheKey(a)
+	if Canonical(a) != before {
+		t.Error("CacheKey must not leak orientation into the input or EM path")
+	}
+}

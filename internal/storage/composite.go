@@ -1,0 +1,144 @@
+// Composite (multi-column) hash indexes over stored tables. A
+// CompositeIndex groups row positions by the Compare-consistent binary
+// encoding of an ordered column tuple (sqltypes.Row.AppendCompareKeyCols) —
+// the exact key the executor's generic hash join computes per execution for
+// multi-key equi-joins, so a prebuilt composite index is a drop-in build
+// side: same buckets, same NULL rejection (a NULL in any key column leaves
+// the row unindexed, as multi-key equi-matching requires), and positions in
+// scan order within each bucket so probe output order is unchanged.
+//
+// Composite indexes follow the same lifecycle as the other kinds: lazy
+// double-checked build on first use, maintained on Insert, dropped on
+// Mutate, never shared with clones, rebuilt when the row-count check
+// detects direct Relation appends. Indexes are keyed by their exact column
+// sequence — (a, b) and (b, a) are distinct indexes, because the probe
+// side encodes its key columns in the same order.
+package storage
+
+import (
+	"strconv"
+
+	"cyclesql/internal/sqltypes"
+)
+
+// CompositeIndex is a hash index over an ordered tuple of columns.
+type CompositeIndex struct {
+	cols   []int
+	rows   int // relation rows covered; mismatch triggers a rebuild
+	groups map[string][]int32
+}
+
+// Lookup returns the positions of rows whose key columns encode to key, in
+// ascending row order. The returned slice is shared; callers must not
+// mutate it.
+func (ix *CompositeIndex) Lookup(key []byte) []int32 { return ix.groups[string(key)] }
+
+// Distinct returns the number of distinct fully-non-NULL key tuples.
+func (ix *CompositeIndex) Distinct() int { return len(ix.groups) }
+
+func buildCompositeIndex(rel *sqltypes.Relation, cols []int) *CompositeIndex {
+	ix := &CompositeIndex{
+		cols:   append([]int(nil), cols...),
+		rows:   len(rel.Rows),
+		groups: make(map[string][]int32, len(rel.Rows)),
+	}
+	var buf []byte
+	for ri, row := range rel.Rows {
+		key, ok := compositeKey(buf[:0], row, ix.cols)
+		buf = key
+		if !ok {
+			continue
+		}
+		ix.groups[string(key)] = append(ix.groups[string(key)], int32(ri))
+	}
+	return ix
+}
+
+// add appends one freshly inserted row to the index.
+func (ix *CompositeIndex) add(row sqltypes.Row, pos int) {
+	ix.rows++
+	key, ok := compositeKey(nil, row, ix.cols)
+	if !ok {
+		return
+	}
+	ix.groups[string(key)] = append(ix.groups[string(key)], int32(pos))
+}
+
+// compositeKey encodes the key columns of a row, reporting ok=false for
+// NULL key values or rows too short to hold every column (direct Relation
+// misuse).
+func compositeKey(dst []byte, row sqltypes.Row, cols []int) ([]byte, bool) {
+	for _, c := range cols {
+		if c >= len(row) {
+			return dst, false
+		}
+	}
+	return row.AppendCompareKeyCols(dst, cols)
+}
+
+// colsKey renders a column sequence as the map key composite indexes are
+// stored under.
+func colsKey(cols []int) string {
+	out := make([]byte, 0, 3*len(cols))
+	for i, c := range cols {
+		if i > 0 {
+			out = append(out, ',')
+		}
+		out = strconv.AppendInt(out, int64(c), 10)
+	}
+	return string(out)
+}
+
+// Composite returns the hash index over an ordered column tuple of a
+// table, building it on first use. It returns nil for unknown tables,
+// out-of-range columns, or tuples shorter than two columns (single columns
+// are served by Index). The lazy build is double-checked under the
+// database lock, like the other index kinds.
+func (db *Database) Composite(table string, cols []int) *CompositeIndex {
+	rel := db.Table(table)
+	if rel == nil || len(cols) < 2 {
+		return nil
+	}
+	for _, c := range cols {
+		if c < 0 || c >= len(rel.Columns) {
+			return nil
+		}
+	}
+	name := lowerName(table)
+	ck := colsKey(cols)
+	db.mu.RLock()
+	ix := db.composite[name][ck]
+	db.mu.RUnlock()
+	if ix != nil && ix.rows == len(rel.Rows) {
+		return ix
+	}
+	built := buildCompositeIndex(rel, cols)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if ix := db.composite[name][ck]; ix != nil && ix.rows == len(rel.Rows) {
+		return ix
+	}
+	if db.composite == nil {
+		db.composite = make(map[string]map[string]*CompositeIndex)
+	}
+	byCols := db.composite[name]
+	if byCols == nil {
+		byCols = make(map[string]*CompositeIndex)
+		db.composite[name] = byCols
+	}
+	byCols[ck] = built
+	return built
+}
+
+// HasComposite reports whether a built, up-to-date composite index exists
+// for the exact column sequence. It never builds one.
+func (db *Database) HasComposite(table string, cols []int) bool {
+	rel := db.Table(table)
+	if rel == nil {
+		return false
+	}
+	db.mu.RLock()
+	ix := db.composite[lowerName(table)][colsKey(cols)]
+	db.mu.RUnlock()
+	return ix != nil && ix.rows == len(rel.Rows)
+}

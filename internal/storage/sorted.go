@@ -1,0 +1,185 @@
+// Sorted secondary indexes over stored tables. A SortedIndex keeps one
+// column's row positions ordered by the total value order sqltypes.Compare
+// defines (NULL first, numerics — compared across the INTEGER/REAL divide —
+// before text), with ties broken by row position. That tie-break is load-
+// bearing: a range span therefore lists equal-valued rows in scan order,
+// which is exactly the order a stable ORDER BY sort would leave them in, so
+// the executor can stream ordered output straight off the index and stay
+// bit-identical to the sort-based path.
+//
+// Range probes serve the comparison operators: <, <=, >, >= and BETWEEN
+// all evaluate via sqltypes.Compare and reject NULL operands, so a span
+// computed with the same Compare over the non-NULL suffix of the index
+// returns exactly the rows the scan-and-filter path would keep.
+//
+// Like the hash indexes (index.go), sorted indexes are built lazily on
+// first use, maintained on Insert (binary-search insertion keeps the
+// position list ordered), dropped wholesale on Mutate, never shared with
+// clones, and rebuilt when a row-count check detects direct Relation
+// appends. Lazy builds are double-checked under the database lock; a
+// published index is immutable until the next write, so probes and
+// iteration run lock-free.
+package storage
+
+import (
+	"sort"
+
+	"cyclesql/internal/sqltypes"
+)
+
+// SortedIndex is an ordered index over one column of a stored table.
+type SortedIndex struct {
+	column int
+	rows   int // relation rows covered; mismatch triggers a rebuild
+	rel    *sqltypes.Relation
+	// pos holds every row position, ordered by (Compare(value), position).
+	// NULL values (and rows too short to hold the column) occupy the first
+	// nulls entries — Compare sorts NULL before everything.
+	pos   []int32
+	nulls int
+}
+
+// value reads the indexed column of one row, treating rows too short to
+// hold the column as NULL (only possible through direct Relation misuse).
+func (ix *SortedIndex) value(ri int32) sqltypes.Value {
+	row := ix.rel.Rows[ri]
+	if ix.column >= len(row) {
+		return sqltypes.Null()
+	}
+	return row[ix.column]
+}
+
+// Positions returns every row position ordered by (value, position), NULL
+// rows first — the streaming order of ORDER BY <col> ASC. The slice is
+// shared; callers must not mutate it.
+func (ix *SortedIndex) Positions() []int32 { return ix.pos }
+
+// NullCount returns how many leading positions hold NULL (or missing)
+// values.
+func (ix *SortedIndex) NullCount() int { return ix.nulls }
+
+// Range returns the positions of rows whose non-NULL column value lies
+// within the given bounds, ordered by (value, position). A nil bound is
+// unbounded on that side; Incl selects <= / >= over < / >. NULL rows are
+// never part of a span: every comparison operator rejects NULL operands.
+// The returned slice is shared; callers must not mutate it.
+func (ix *SortedIndex) Range(lo, hi *sqltypes.Value, loIncl, hiIncl bool) []int32 {
+	span := ix.pos[ix.nulls:]
+	start := 0
+	if lo != nil {
+		want := 0
+		if !loIncl {
+			want = 1
+		}
+		start = sort.Search(len(span), func(i int) bool {
+			return sqltypes.Compare(ix.value(span[i]), *lo) >= want
+		})
+	}
+	end := len(span)
+	if hi != nil {
+		want := 1
+		if !hiIncl {
+			want = 0
+		}
+		end = sort.Search(len(span), func(i int) bool {
+			return sqltypes.Compare(ix.value(span[i]), *hi) >= want
+		})
+	}
+	if end < start {
+		end = start
+	}
+	return span[start:end]
+}
+
+func buildSortedIndex(rel *sqltypes.Relation, col int) *SortedIndex {
+	ix := &SortedIndex{
+		column: col,
+		rows:   len(rel.Rows),
+		rel:    rel,
+		pos:    make([]int32, len(rel.Rows)),
+	}
+	for i := range ix.pos {
+		ix.pos[i] = int32(i)
+	}
+	sort.Slice(ix.pos, func(a, b int) bool {
+		if c := sqltypes.Compare(ix.value(ix.pos[a]), ix.value(ix.pos[b])); c != 0 {
+			return c < 0
+		}
+		return ix.pos[a] < ix.pos[b]
+	})
+	for ix.nulls < len(ix.pos) && ix.value(ix.pos[ix.nulls]).IsNull() {
+		ix.nulls++
+	}
+	return ix
+}
+
+// add inserts one freshly appended row at its ordered position. The new
+// position is larger than every existing one, so inserting at the end of
+// its value run preserves the (value, position) order.
+func (ix *SortedIndex) add(row sqltypes.Row, pos int) {
+	ix.rows++
+	v := sqltypes.Null()
+	if ix.column < len(row) {
+		v = row[ix.column]
+	}
+	at := ix.nulls
+	if v.IsNull() {
+		ix.nulls++
+	} else {
+		span := ix.pos[ix.nulls:]
+		at += sort.Search(len(span), func(i int) bool {
+			return sqltypes.Compare(ix.value(span[i]), v) > 0
+		})
+	}
+	ix.pos = append(ix.pos, 0)
+	copy(ix.pos[at+1:], ix.pos[at:])
+	ix.pos[at] = int32(pos)
+}
+
+// Sorted returns the ordered index for one column of a table, building it
+// on first use. It returns nil for unknown tables or out-of-range columns.
+// Like Index, the lazy build is double-checked under the database lock, so
+// concurrent readers either share the published index or build
+// interchangeable copies of which one wins.
+func (db *Database) Sorted(table string, col int) *SortedIndex {
+	rel := db.Table(table)
+	if rel == nil || col < 0 || col >= len(rel.Columns) {
+		return nil
+	}
+	name := lowerName(table)
+	db.mu.RLock()
+	ix := db.sorted[name][col]
+	db.mu.RUnlock()
+	if ix != nil && ix.rows == len(rel.Rows) {
+		return ix
+	}
+	built := buildSortedIndex(rel, col)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if ix := db.sorted[name][col]; ix != nil && ix.rows == len(rel.Rows) {
+		return ix
+	}
+	if db.sorted == nil {
+		db.sorted = make(map[string]map[int]*SortedIndex)
+	}
+	byCol := db.sorted[name]
+	if byCol == nil {
+		byCol = make(map[int]*SortedIndex)
+		db.sorted[name] = byCol
+	}
+	byCol[col] = built
+	return built
+}
+
+// HasSorted reports whether a built, up-to-date sorted index exists for
+// the column. It never builds one; tests use it to observe invalidation.
+func (db *Database) HasSorted(table string, col int) bool {
+	rel := db.Table(table)
+	if rel == nil {
+		return false
+	}
+	db.mu.RLock()
+	ix := db.sorted[lowerName(table)][col]
+	db.mu.RUnlock()
+	return ix != nil && ix.rows == len(rel.Rows)
+}

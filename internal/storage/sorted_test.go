@@ -1,0 +1,311 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+
+	"cyclesql/internal/schema"
+	"cyclesql/internal/sqltypes"
+)
+
+// sortedDB builds a table mixing kinds within one column (score holds
+// INTEGER, REAL and NULL; the id column stays unique) so the ordering
+// tests cover cross-kind Compare semantics.
+func sortedDB(t testing.TB) *Database {
+	t.Helper()
+	s := &schema.Schema{
+		Name: "sortidx",
+		Tables: []*schema.Table{
+			{Name: "Item", Columns: []schema.Column{
+				{Name: "id", Type: sqltypes.KindInt, PrimaryKey: true},
+				{Name: "tag", Type: sqltypes.KindText},
+				{Name: "score", Type: sqltypes.KindFloat},
+			}},
+		},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	db := NewDatabase(s)
+	// Scan order: ties on score (2 vs 2.0), a NULL, text-vs-number mix in
+	// tag, negative and fractional values.
+	db.MustInsert("Item", sqltypes.NewInt(1), sqltypes.NewText("b"), sqltypes.NewFloat(2.0))
+	db.MustInsert("Item", sqltypes.NewInt(2), sqltypes.NewText("a"), sqltypes.NewInt(2))
+	db.MustInsert("Item", sqltypes.NewInt(3), sqltypes.Null(), sqltypes.NewFloat(-1.5))
+	db.MustInsert("Item", sqltypes.NewInt(4), sqltypes.NewText("c"), sqltypes.Null())
+	db.MustInsert("Item", sqltypes.NewInt(5), sqltypes.NewText("a"), sqltypes.NewFloat(3.25))
+	return db
+}
+
+func positions(ix *SortedIndex) []int32 { return ix.Positions() }
+
+func TestSortedIndexOrder(t *testing.T) {
+	db := sortedDB(t)
+	ix := db.Sorted("Item", 2) // score
+	if ix == nil {
+		t.Fatal("no sorted index")
+	}
+	// NULL first, then -1.5, then the 2 == 2.0 tie in scan order, then 3.25.
+	want := []int32{3, 2, 0, 1, 4}
+	got := positions(ix)
+	if len(got) != len(want) {
+		t.Fatalf("positions: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("positions = %v, want %v", got, want)
+		}
+	}
+	if ix.NullCount() != 1 {
+		t.Fatalf("null count = %d, want 1", ix.NullCount())
+	}
+}
+
+func TestSortedIndexRange(t *testing.T) {
+	db := sortedDB(t)
+	ix := db.Sorted("Item", 2)
+	v := func(f float64) *sqltypes.Value {
+		val := sqltypes.NewFloat(f)
+		return &val
+	}
+	span := func(lo, hi *sqltypes.Value, loIncl, hiIncl bool) []int32 {
+		return ix.Range(lo, hi, loIncl, hiIncl)
+	}
+	// score >= 2: the 2/2.0 tie in scan order, then 3.25.
+	if got := span(v(2), nil, true, false); len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 4 {
+		t.Fatalf("score >= 2: %v", got)
+	}
+	// score > 2 excludes both members of the tie.
+	if got := span(v(2), nil, false, false); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("score > 2: %v", got)
+	}
+	// score < 2 excludes NULL (position 3) as every comparison does.
+	if got := span(nil, v(2), false, false); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("score < 2: %v", got)
+	}
+	// BETWEEN-style two-sided span.
+	if got := span(v(-2), v(2.5), true, true); len(got) != 3 {
+		t.Fatalf("score between -2 and 2.5: %v", got)
+	}
+	// Inverted bounds are empty, not a panic.
+	if got := span(v(5), v(1), true, true); len(got) != 0 {
+		t.Fatalf("inverted span: %v", got)
+	}
+	// A text bound on the tag column: numbers sort before text, and the
+	// span respects Compare's cross-kind order.
+	tagB := sqltypes.NewText("b")
+	if got := db.Sorted("Item", 1).Range(&tagB, nil, true, false); len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Fatalf("tag >= 'b': %v", got)
+	}
+}
+
+func TestSortedIndexMaintainedOnInsert(t *testing.T) {
+	db := sortedDB(t)
+	ix := db.Sorted("Item", 2)
+	if !db.HasSorted("Item", 2) {
+		t.Fatal("sorted index should exist after first use")
+	}
+	// An equal-valued insert must land at the end of its value run (scan
+	// order), a NULL at the end of the NULL prefix.
+	db.MustInsert("Item", sqltypes.NewInt(6), sqltypes.NewText("d"), sqltypes.NewInt(2))
+	db.MustInsert("Item", sqltypes.NewInt(7), sqltypes.NewText("e"), sqltypes.Null())
+	if !db.HasSorted("Item", 2) {
+		t.Fatal("insert must maintain the built sorted index, not drop it")
+	}
+	got := positions(db.Sorted("Item", 2))
+	want := []int32{3, 6, 2, 0, 1, 5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("positions after insert = %v, want %v", got, want)
+		}
+	}
+	if db.Sorted("Item", 2) != ix {
+		t.Fatal("maintained index must be the same published instance")
+	}
+}
+
+func TestSortedIndexInvalidatedOnMutate(t *testing.T) {
+	db := sortedDB(t)
+	if db.Sorted("Item", 2) == nil {
+		t.Fatal("no sorted index")
+	}
+	db.Mutate(func(table string, row sqltypes.Row) {
+		if !row[2].IsNull() {
+			row[2] = sqltypes.NewFloat(-row[2].Float())
+		}
+	})
+	if db.HasSorted("Item", 2) {
+		t.Fatal("mutate must drop built sorted indexes")
+	}
+	// The rebuilt index reflects the negated values: 3.25 became the
+	// minimum non-NULL value.
+	got := positions(db.Sorted("Item", 2))
+	if got[1] != 4 {
+		t.Fatalf("rebuilt positions = %v, want row 4 first after NULL", got)
+	}
+}
+
+func TestSortedIndexCloneIsolation(t *testing.T) {
+	db := sortedDB(t)
+	orig := positions(db.Sorted("Item", 2))
+	cp := db.Clone()
+	if cp.HasSorted("Item", 2) {
+		t.Fatal("clone must start with no sorted indexes")
+	}
+	cp.Mutate(func(table string, row sqltypes.Row) {
+		row[2] = sqltypes.NewInt(0)
+	})
+	if got := positions(cp.Sorted("Item", 2)); got[0] != 0 {
+		t.Fatalf("clone index must order by clone values: %v", got)
+	}
+	if got := positions(db.Sorted("Item", 2)); got[0] != orig[0] {
+		t.Fatal("original sorted index must be untouched by clone mutation")
+	}
+}
+
+func TestSortedIndexRebuiltOnDirectAppend(t *testing.T) {
+	db := sortedDB(t)
+	if got := positions(db.Sorted("Item", 2)); len(got) != 5 {
+		t.Fatalf("positions: %v", got)
+	}
+	db.Table("Item").Append(sqltypes.Row{sqltypes.NewInt(9), sqltypes.NewText("z"), sqltypes.NewFloat(99)})
+	got := positions(db.Sorted("Item", 2))
+	if len(got) != 6 || got[5] != 5 {
+		t.Fatalf("positions after direct append = %v", got)
+	}
+}
+
+func compositeLookup(db *Database, table string, cols []int, vals ...sqltypes.Value) []int32 {
+	key, ok := sqltypes.Row(vals).AppendCompareKeyCols(nil, []int{0, 1}[:len(vals)])
+	if !ok {
+		return nil
+	}
+	return db.Composite(table, cols).Lookup(key)
+}
+
+func compositeDB(t testing.TB) *Database {
+	t.Helper()
+	s := &schema.Schema{
+		Name: "compidx",
+		Tables: []*schema.Table{
+			{Name: "Pair", Columns: []schema.Column{
+				{Name: "a", Type: sqltypes.KindInt},
+				{Name: "b", Type: sqltypes.KindText},
+				{Name: "c", Type: sqltypes.KindInt},
+			}},
+		},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	db := NewDatabase(s)
+	db.MustInsert("Pair", sqltypes.NewInt(1), sqltypes.NewText("x"), sqltypes.NewInt(10))
+	db.MustInsert("Pair", sqltypes.NewInt(1), sqltypes.NewText("y"), sqltypes.NewInt(11))
+	db.MustInsert("Pair", sqltypes.NewInt(1), sqltypes.NewText("x"), sqltypes.NewInt(12))
+	db.MustInsert("Pair", sqltypes.Null(), sqltypes.NewText("x"), sqltypes.NewInt(13))
+	db.MustInsert("Pair", sqltypes.NewInt(2), sqltypes.Null(), sqltypes.NewInt(14))
+	return db
+}
+
+func TestCompositeIndexLookup(t *testing.T) {
+	db := compositeDB(t)
+	// (1, 'x') appears at rows 0 and 2, in scan order.
+	if got := compositeLookup(db, "Pair", []int{0, 1}, sqltypes.NewInt(1), sqltypes.NewText("x")); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("(1,x) rows: %v", got)
+	}
+	// A NULL in either key column leaves the row unindexed.
+	if db.Composite("Pair", []int{0, 1}).Distinct() != 2 {
+		t.Fatalf("distinct tuples: %d", db.Composite("Pair", []int{0, 1}).Distinct())
+	}
+	// Single columns and bad columns are not composite indexes.
+	if db.Composite("Pair", []int{0}) != nil {
+		t.Fatal("single-column tuple must not build a composite index")
+	}
+	if db.Composite("Pair", []int{0, 9}) != nil || db.Composite("Ghost", []int{0, 1}) != nil {
+		t.Fatal("out-of-range columns / unknown tables must have no index")
+	}
+	// Column order is part of the identity.
+	ab, ba := db.Composite("Pair", []int{0, 1}), db.Composite("Pair", []int{1, 0})
+	if ab == ba {
+		t.Fatal("(a,b) and (b,a) must be distinct indexes")
+	}
+}
+
+func TestCompositeIndexMaintainedOnInsert(t *testing.T) {
+	db := compositeDB(t)
+	if got := compositeLookup(db, "Pair", []int{0, 1}, sqltypes.NewInt(1), sqltypes.NewText("x")); len(got) != 2 {
+		t.Fatalf("(1,x) rows: %v", got)
+	}
+	db.MustInsert("Pair", sqltypes.NewInt(1), sqltypes.NewText("x"), sqltypes.NewInt(15))
+	if !db.HasComposite("Pair", []int{0, 1}) {
+		t.Fatal("insert must maintain the built composite index")
+	}
+	if got := compositeLookup(db, "Pair", []int{0, 1}, sqltypes.NewInt(1), sqltypes.NewText("x")); len(got) != 3 || got[2] != 5 {
+		t.Fatalf("(1,x) rows after insert: %v", got)
+	}
+	// A NULL-keyed insert maintains the index without indexing the row.
+	db.MustInsert("Pair", sqltypes.Null(), sqltypes.NewText("x"), sqltypes.NewInt(16))
+	if !db.HasComposite("Pair", []int{0, 1}) {
+		t.Fatal("NULL-keyed insert must still keep the index up to date")
+	}
+}
+
+func TestCompositeIndexInvalidatedOnMutateAndClone(t *testing.T) {
+	db := compositeDB(t)
+	if db.Composite("Pair", []int{0, 1}) == nil {
+		t.Fatal("no composite index")
+	}
+	cp := db.Clone()
+	if cp.HasComposite("Pair", []int{0, 1}) {
+		t.Fatal("clone must start with no composite indexes")
+	}
+	db.Mutate(func(table string, row sqltypes.Row) {
+		if row[0].Int() == 1 {
+			row[0] = sqltypes.NewInt(7)
+		}
+	})
+	if db.HasComposite("Pair", []int{0, 1}) {
+		t.Fatal("mutate must drop built composite indexes")
+	}
+	if got := compositeLookup(db, "Pair", []int{0, 1}, sqltypes.NewInt(7), sqltypes.NewText("x")); len(got) != 2 {
+		t.Fatalf("(7,x) rows after mutate: %v", got)
+	}
+	// The clone still sees the pre-mutation values.
+	if got := compositeLookup(cp, "Pair", []int{0, 1}, sqltypes.NewInt(1), sqltypes.NewText("x")); len(got) != 2 {
+		t.Fatalf("clone (1,x) rows: %v", got)
+	}
+}
+
+// TestSortedCompositeConcurrentLazyBuild races readers on cold sorted and
+// composite indexes, mirroring TestIndexConcurrentLazyBuild for the new
+// kinds. Run under -race this is the regression gate for their guarded
+// double-checked builds.
+func TestSortedCompositeConcurrentLazyBuild(t *testing.T) {
+	db := compositeDB(t)
+	key, ok := sqltypes.Row{sqltypes.NewInt(1), sqltypes.NewText("x")}.AppendCompareKeyCols(nil, []int{0, 1})
+	if !ok {
+		t.Fatal("unexpected null key")
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if got := len(db.Sorted("Pair", 2).Positions()); got != 5 {
+					t.Errorf("sorted positions = %d, want 5", got)
+				}
+				if got := len(db.Composite("Pair", []int{0, 1}).Lookup(key)); got != 2 {
+					t.Errorf("(1,x) rows = %d, want 2", got)
+				}
+				if got := db.Sorted("pair", 0).NullCount(); got != 1 {
+					t.Errorf("null count = %d, want 1", got)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if !db.HasSorted("Pair", 2) || !db.HasComposite("Pair", []int{0, 1}) {
+		t.Fatal("indexes must remain published after concurrent builds")
+	}
+}

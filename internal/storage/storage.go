@@ -30,19 +30,27 @@ import (
 )
 
 // Database is an in-memory database instance: a schema plus table contents,
-// plus lazily built secondary indexes over table columns (see index.go).
+// plus lazily built secondary indexes over table columns — hash indexes
+// for point probes (index.go), sorted indexes for range probes and ordered
+// streaming (sorted.go), and composite hash indexes for multi-key
+// equi-joins (composite.go).
 type Database struct {
 	Schema *schema.Schema
 	tables map[string]*sqltypes.Relation
-	// mu guards the indexes map: concurrent queries trigger lazy index
+	// mu guards the index maps: concurrent queries trigger lazy index
 	// builds, and publishing a built index must be ordered before other
-	// goroutines probe it. Built ColumnIndexes are immutable between
-	// writes, so probes run outside the lock.
+	// goroutines probe it. Built indexes of every kind are immutable
+	// between writes, so probes run outside the lock.
 	mu sync.RWMutex
-	// indexes holds the built column indexes per lower-cased table name.
-	// nil until the first probe; dropped wholesale on Mutate.
-	indexes map[string]map[int]*ColumnIndex
+	// indexes, sorted and composite hold the built indexes per lower-cased
+	// table name. nil until the first probe; dropped wholesale on Mutate.
+	indexes   map[string]map[int]*ColumnIndex
+	sorted    map[string]map[int]*SortedIndex
+	composite map[string]map[string]*CompositeIndex
 }
+
+// lowerName folds a table name to the map key every index store uses.
+func lowerName(table string) string { return strings.ToLower(table) }
 
 // NewDatabase returns an empty database for the schema. Every table starts
 // with zero rows and the column list from the schema.
