@@ -19,11 +19,13 @@ import (
 	"cyclesql/internal/datasets"
 	"cyclesql/internal/experiments"
 	"cyclesql/internal/explain"
+	"cyclesql/internal/faultinject"
 	"cyclesql/internal/nl2sql"
 	"cyclesql/internal/nli"
 	"cyclesql/internal/nn"
 	"cyclesql/internal/provenance"
 	"cyclesql/internal/provgraph"
+	"cyclesql/internal/resilience"
 	"cyclesql/internal/sqlast"
 	"cyclesql/internal/sqleval"
 )
@@ -371,3 +373,73 @@ func BenchmarkSweepWorkers8(b *testing.B) { sweepBench(b, 8, 0) }
 func BenchmarkSweepSimVerifyWorkers1(b *testing.B) { sweepBench(b, 1, 2*time.Millisecond) }
 func BenchmarkSweepSimVerifyWorkers4(b *testing.B) { sweepBench(b, 4, 2*time.Millisecond) }
 func BenchmarkSweepSimVerifyWorkers8(b *testing.B) { sweepBench(b, 8, 2*time.Millisecond) }
+
+// ---- Resilience and chaos benches (PR 6, BENCH_PR6.json) ----
+
+// resilientLoopBench is loopBench with the resilience layer armed — a
+// retry budget, per-stage breakers and a collector on every stage — and,
+// when faults has enabled rates, deterministic chaos injected around
+// every model call. The fault-free variants price the policy machinery
+// itself on the worst-case loop (every candidate examined); the chaos
+// variants price a 20% transient-fault rate healed by retries. It reports
+// how many retries each translate burned alongside the loop overhead.
+func resilientLoopBench(b *testing.B, parallelism int, faults faultinject.Config) {
+	bench := datasets.Spider()
+	dev := bench.Dev[:16]
+	var reject nli.Verifier = nli.Func{Label: "reject-all", Fn: func(string, nli.Premise) bool { return false }}
+	inj := faultinject.New(faults)
+	p := core.NewPipeline(inj.WrapModel(nl2sql.MustByName("resdsql-3b")), inj.WrapVerifier(reject), bench.Name)
+	p.Feedback = inj.WrapFeedback(p.Feedback)
+	p.Parallelism = parallelism
+	p.Resilience = &resilience.Policy{
+		Retry:     resilience.Retry{MaxAttempts: 8, BaseDelay: 100 * time.Microsecond, MaxDelay: time.Millisecond, Seed: 7},
+		Breaker:   resilience.BreakerConfig{Threshold: 5, Cooldown: 50 * time.Millisecond},
+		Collector: &resilience.Collector{},
+	}
+	var overhead time.Duration
+	retries := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, ex := range dev {
+			res, err := p.Translate(context.Background(), ex, bench.DB(ex.DBName))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Iterations != len(res.Candidates) {
+				b.Fatalf("reject-all must exhaust the beam, examined %d/%d", res.Iterations, len(res.Candidates))
+			}
+			if res.Degraded {
+				b.Fatal("nothing may degrade when every fault heals")
+			}
+			overhead += res.Overhead
+			retries += res.Retries
+		}
+	}
+	b.ReportMetric(float64(overhead.Microseconds())/float64(b.N*len(dev)), "overhead-us/translate")
+	b.ReportMetric(float64(retries)/float64(b.N*len(dev)), "retries/translate")
+}
+
+// benchChaos mirrors the chaos-parity suite's locked fault weather (see
+// internal/experiments/chaos_test.go).
+var benchChaos = faultinject.Config{
+	Seed:      7,
+	ErrorRate: 0.2,
+	HangRate:  0.05, HangTimeout: time.Millisecond,
+	PanicRate:   0.05,
+	LatencyRate: 0.1, Latency: 200 * time.Microsecond,
+}
+
+// The Resilient variants run the full policy machinery with zero faults:
+// their delta against BenchmarkTranslateLoop{Sequential,Parallel4} is the
+// price of arming retries and breakers on a healthy stack.
+func BenchmarkTranslateLoopResilientSequential(b *testing.B) {
+	resilientLoopBench(b, 1, faultinject.Config{})
+}
+func BenchmarkTranslateLoopResilientParallel4(b *testing.B) {
+	resilientLoopBench(b, 4, faultinject.Config{})
+}
+
+// The Chaos variants inject the parity suite's fault weather and heal it
+// with retries — the overhead of surviving a 20% transient-fault rate.
+func BenchmarkTranslateLoopChaosSequential(b *testing.B) { resilientLoopBench(b, 1, benchChaos) }
+func BenchmarkTranslateLoopChaosParallel4(b *testing.B)  { resilientLoopBench(b, 4, benchChaos) }

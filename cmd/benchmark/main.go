@@ -16,6 +16,19 @@
 // bounds one example's wall clock; an example that exceeds it fails the
 // run with a deadline error instead of hanging the regeneration. SIGINT
 // (^C) or SIGTERM aborts the sweep cleanly mid-example (exit code 130).
+//
+// Resilience and chaos: -retries/-breaker wrap every pipeline stage with
+// the resilience policy (retry/backoff for transient faults, per-stage
+// circuit breakers, graceful degradation when the verifier's circuit is
+// open), and the -fault-* flags inject deterministic faults around every
+// model call. With retries on and no retry-budget exhaustion, a chaos run
+// regenerates bit-identical tables:
+//
+//	benchmark -exp table2 -retries 4 -fault-rate 0.2 -fault-seed 7
+//
+// Whenever resilience or chaos is active, a one-line reliability summary
+// (attempts, retries, breaker trips, degraded examples, recovered panics)
+// is printed to stderr on exit — including on ^C.
 package main
 
 import (
@@ -29,7 +42,23 @@ import (
 	"time"
 
 	"cyclesql/internal/experiments"
+	"cyclesql/internal/faultinject"
+	"cyclesql/internal/resilience"
 )
+
+// reliability is the resilience policy the flags configured (nil when
+// resilience and chaos are both off); exit prints its summary.
+var reliability *resilience.Policy
+
+// exit prints the reliability summary, then terminates with code — the
+// explicit call keeps the summary on every path, since os.Exit skips
+// deferred functions.
+func exit(code int) {
+	if reliability != nil {
+		fmt.Fprintln(os.Stderr, "reliability: "+reliability.Stats().String())
+	}
+	os.Exit(code)
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
@@ -39,6 +68,14 @@ func main() {
 	workers := flag.Int("workers", 1, "concurrent dev examples per experiment sweep (1 = sequential; tables are identical either way)")
 	timeout := flag.Duration("timeout", 0, "per-example wall-clock budget (0 = none), e.g. 30s")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	retries := flag.Int("retries", 0, "transient-fault retries per loop stage (0 = single attempts)")
+	breaker := flag.Int("breaker", 0, "circuit-breaker threshold in consecutive per-stage infrastructure failures (0 = no breaker)")
+	faultRate := flag.Float64("fault-rate", 0, "chaos: probability a model call returns a transient error")
+	faultHang := flag.Float64("fault-hang", 0, "chaos: probability a model call hangs (resolves as a transient timeout)")
+	faultPanic := flag.Float64("fault-panic", 0, "chaos: probability a model call panics (recovered by the loop)")
+	faultSlow := flag.Float64("fault-slow", 0, "chaos: probability a model call is slowed by -fault-latency")
+	faultLatency := flag.Duration("fault-latency", 2*time.Millisecond, "chaos: added latency per -fault-slow hit")
+	faultSeed := flag.Int64("fault-seed", 1, "chaos: seed for the deterministic fault and backoff-jitter draws")
 	flag.Parse()
 
 	if *list {
@@ -53,6 +90,19 @@ func main() {
 	lim.Parallelism = *parallel
 	lim.Workers = *workers
 	lim.ExampleTimeout = *timeout
+	lim.Faults = faultinject.Config{
+		Seed:      *faultSeed,
+		ErrorRate: *faultRate, HangRate: *faultHang,
+		PanicRate: *faultPanic, LatencyRate: *faultSlow, Latency: *faultLatency,
+	}
+	if *retries > 0 || *breaker > 0 || lim.Faults.Enabled() {
+		reliability = &resilience.Policy{
+			Retry:     resilience.Retry{MaxAttempts: *retries + 1, Seed: *faultSeed},
+			Breaker:   resilience.BreakerConfig{Threshold: *breaker},
+			Collector: &resilience.Collector{},
+		}
+		lim.Resilience = reliability
+	}
 
 	ids := experiments.IDs
 	if *exp != "all" {
@@ -75,12 +125,15 @@ func main() {
 		if err != nil {
 			if errors.Is(err, context.Canceled) || ctx.Err() != nil {
 				fmt.Fprintf(os.Stderr, "%s: interrupted after %s\n", id, time.Since(start).Round(time.Millisecond))
-				os.Exit(130)
+				exit(130)
 			}
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Println(table.String())
 		fmt.Printf("[%s regenerated in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if reliability != nil {
+		exit(0)
 	}
 }

@@ -16,6 +16,18 @@
 // feedback loop; per-question results are identical at any setting.
 // -timeout bounds one question's wall clock. SIGINT (^C) or SIGTERM
 // aborts the loop cleanly mid-query (exit code 130).
+//
+// Resilience and chaos: -retries/-breaker wrap every loop stage with the
+// resilience policy (retry/backoff for transient faults, per-stage
+// circuit breakers, graceful degradation when the verifier's circuit is
+// open), and the -fault-* flags inject deterministic faults around every
+// model call to exercise it:
+//
+//	cyclesql -db world_1 -all -retries 4 -fault-rate 0.2 -fault-seed 7
+//
+// Whenever resilience or chaos is active, a one-line reliability summary
+// (attempts, retries, breaker trips, degraded questions, recovered
+// panics) is printed to stderr on exit — including on ^C.
 package main
 
 import (
@@ -32,8 +44,24 @@ import (
 	"cyclesql/internal/datasets"
 	"cyclesql/internal/eval"
 	"cyclesql/internal/experiments"
+	"cyclesql/internal/faultinject"
 	"cyclesql/internal/nl2sql"
+	"cyclesql/internal/resilience"
 )
+
+// reliability is the resilience policy the flags configured (nil when
+// resilience and chaos are both off); exit prints its summary.
+var reliability *resilience.Policy
+
+// exit prints the reliability summary, then terminates with code — the
+// explicit call keeps the summary on every path, since os.Exit skips
+// deferred functions.
+func exit(code int) {
+	if reliability != nil {
+		fmt.Fprintln(os.Stderr, "reliability: "+reliability.Stats().String())
+	}
+	os.Exit(code)
+}
 
 func main() {
 	dbName := flag.String("db", "world_1", "database name inside the Spider benchmark")
@@ -44,7 +72,28 @@ func main() {
 	workers := flag.Int("workers", 1, "with -all: concurrent questions (1 = sequential; per-question results are identical either way)")
 	timeout := flag.Duration("timeout", 0, "per-question wall-clock budget (0 = none), e.g. 30s")
 	all := flag.Bool("all", false, "translate every benchmark question for -db instead of a single -q")
+	retries := flag.Int("retries", 0, "transient-fault retries per loop stage (0 = single attempts)")
+	breaker := flag.Int("breaker", 0, "circuit-breaker threshold in consecutive per-stage infrastructure failures (0 = no breaker)")
+	faultRate := flag.Float64("fault-rate", 0, "chaos: probability a model call returns a transient error")
+	faultHang := flag.Float64("fault-hang", 0, "chaos: probability a model call hangs (resolves as a transient timeout)")
+	faultPanic := flag.Float64("fault-panic", 0, "chaos: probability a model call panics (recovered by the loop)")
+	faultSlow := flag.Float64("fault-slow", 0, "chaos: probability a model call is slowed by -fault-latency")
+	faultLatency := flag.Duration("fault-latency", 2*time.Millisecond, "chaos: added latency per -fault-slow hit")
+	faultSeed := flag.Int64("fault-seed", 1, "chaos: seed for the deterministic fault and backoff-jitter draws")
 	flag.Parse()
+
+	faults := faultinject.Config{
+		Seed:      *faultSeed,
+		ErrorRate: *faultRate, HangRate: *faultHang,
+		PanicRate: *faultPanic, LatencyRate: *faultSlow, Latency: *faultLatency,
+	}
+	if *retries > 0 || *breaker > 0 || faults.Enabled() {
+		reliability = &resilience.Policy{
+			Retry:     resilience.Retry{MaxAttempts: *retries + 1, Seed: *faultSeed},
+			Breaker:   resilience.BreakerConfig{Threshold: *breaker},
+			Collector: &resilience.Collector{},
+		}
+	}
 
 	bench := datasets.Spider()
 
@@ -86,9 +135,15 @@ func main() {
 	}
 
 	verifier := experiments.Verifier(experiments.DefaultLimits)
-	pipeline := core.NewPipeline(nl2sql.MustByName(*modelName), verifier, bench.Name)
+	// The injector wraps the three model-call surfaces (it returns them
+	// unwrapped when no -fault-* flag is set); the raw verifier stays in
+	// scope for the diagnostic score display below, which reads fault-free.
+	inj := faultinject.New(faults)
+	pipeline := core.NewPipeline(inj.WrapModel(nl2sql.MustByName(*modelName)), inj.WrapVerifier(verifier), bench.Name)
+	pipeline.Feedback = inj.WrapFeedback(pipeline.Feedback)
 	pipeline.BeamSize = *beam
 	pipeline.Parallelism = *parallel
+	pipeline.Resilience = reliability
 
 	// SIGINT/SIGTERM cancel the context the whole loop below honors, so ^C
 	// aborts a translation (or a full -all sweep) cleanly mid-query.
@@ -97,7 +152,7 @@ func main() {
 
 	if *all {
 		sweep(ctx, pipeline, bench, *dbName, *modelName, *workers, *timeout)
-		return
+		exit(0)
 	}
 	db := bench.DB(found.DBName)
 
@@ -111,10 +166,10 @@ func main() {
 	if err != nil {
 		if ctx.Err() != nil && context.Cause(ctx) != context.DeadlineExceeded {
 			fmt.Fprintln(os.Stderr, "interrupted")
-			os.Exit(130)
+			exit(130)
 		}
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		exit(1)
 	}
 	for i, cand := range res.Candidates {
 		if i >= res.Iterations {
@@ -130,13 +185,21 @@ func main() {
 			fmt.Printf("  explanation: %s\n", res.Premises[i].Explanation)
 			fmt.Printf("  verifier score: %.3f\n", verifier.Score(found.Question, res.Premises[i]))
 		}
-		if i < len(res.Errors) && res.Errors[i] != "" {
-			fmt.Printf("  feedback failed: %s\n", res.Errors[i])
+		if i < len(res.Errors) && !res.Errors[i].IsZero() {
+			fmt.Printf("  feedback failed: %s\n", res.Errors[i].Error())
 		}
 	}
-	fmt.Printf("\nFinal translation (%d iterations, verified=%v):\n  %s\n", res.Iterations, res.Verified, res.FinalSQL)
+	status := fmt.Sprintf("verified=%v", res.Verified)
+	if res.Degraded {
+		status += " degraded=true (verifier circuit open; best-scored candidate returned unverified)"
+	}
+	if res.Retries > 0 {
+		status += fmt.Sprintf(" retries=%d", res.Retries)
+	}
+	fmt.Printf("\nFinal translation (%d iterations, %s):\n  %s\n", res.Iterations, status, res.FinalSQL)
 	fmt.Printf("Execution-correct vs gold: %v\n", eval.EX(db, res.Final, found.Gold))
 	fmt.Printf("Feedback-loop overhead: %s\n", res.Overhead.Round(100))
+	exit(0)
 }
 
 // sweep runs the feedback loop over every dev question of one database on
@@ -153,7 +216,7 @@ func sweep(ctx context.Context, pipeline *core.Pipeline, bench *datasets.Benchma
 	}
 	if len(qs) == 0 {
 		fmt.Fprintf(os.Stderr, "no benchmark questions for database %q\n", dbName)
-		os.Exit(2)
+		exit(2)
 	}
 	fmt.Printf("Database: %s   Model: %s   Questions: %d   Workers: %d\n\n", dbName, modelName, len(qs), workers)
 	results := make([]*core.Result, len(qs))
@@ -168,7 +231,7 @@ func sweep(ctx context.Context, pipeline *core.Pipeline, bench *datasets.Benchma
 		return nil
 	})
 	elapsed := time.Since(start)
-	verified, correct, failed := 0, 0, 0
+	verified, correct, failed, degraded := 0, 0, 0, 0
 	for i, ex := range qs {
 		if errs[i] != nil {
 			failed++
@@ -182,12 +245,16 @@ func sweep(ctx context.Context, pipeline *core.Pipeline, bench *datasets.Benchma
 			verdict = "VALIDATED"
 			verified++
 		}
+		if res.Degraded {
+			verdict = "DEGRADED "
+			degraded++
+		}
 		if ok {
 			correct++
 		}
 		fmt.Printf("%3d %s %s\n    iterations=%d execution-correct=%v  %s\n",
 			i+1, verdict, ex.Question, res.Iterations, ok, res.FinalSQL)
 	}
-	fmt.Printf("\n%d/%d verified, %d/%d execution-correct, %d failed in %s\n",
-		verified, len(qs), correct, len(qs), failed, elapsed.Round(time.Millisecond))
+	fmt.Printf("\n%d/%d verified, %d/%d execution-correct, %d degraded, %d failed in %s\n",
+		verified, len(qs), correct, len(qs), degraded, failed, elapsed.Round(time.Millisecond))
 }

@@ -17,6 +17,18 @@
 // The stock Feedback and Verifier implementations are safe for concurrent
 // use; custom ones must be too before raising Parallelism above 1.
 //
+// Resilience: a Pipeline optionally carries a resilience.Policy that
+// wraps every stage of the loop — translate, execute, explain, verify —
+// with retry/backoff for transient infrastructure faults and a per-stage
+// circuit breaker (see internal/resilience). Panics inside a candidate's
+// chain are recovered into typed StageErrors on both the sequential and
+// parallel paths, so a crashing model call fails one candidate instead of
+// the process. When the verify breaker is open the loop degrades
+// gracefully: it stops burning candidates against a dead verifier and
+// returns the best-scored unverified candidate with Result.Degraded set.
+// A nil policy reproduces the pre-resilience behavior exactly (single
+// attempts, no breakers) at zero added allocation.
+//
 // Cancellation: Translate takes a context.Context that threads through
 // every candidate's execute → explain chain down to the SQL executor's
 // inner loops (sqleval.Executor.ExecContext), so cancelling it — the
@@ -40,6 +52,7 @@ import (
 	"cyclesql/internal/explain"
 	"cyclesql/internal/nl2sql"
 	"cyclesql/internal/nli"
+	"cyclesql/internal/resilience"
 	"cyclesql/internal/sqlast"
 	"cyclesql/internal/sqleval"
 	"cyclesql/internal/sqltypes"
@@ -134,13 +147,25 @@ type Result struct {
 	// order; Premises[i] corresponds to Candidates[i].
 	Premises []nli.Premise
 	// Errors records, per examined candidate, why no verdict could be
-	// reached ("" when the chain completed): "execute: ..." for SQL that
-	// failed to run, "explain: ..." for feedback generation failures,
-	// "verify: ..." for a verifier inference aborted by cancellation.
-	// Errors[i] corresponds to Candidates[i]. A premise-less candidate can
-	// still become Final through the top-1 fallback, so drivers use this
-	// to distinguish "failed to execute" from "examined but not verified".
-	Errors []string
+	// reached (the zero StageError when the chain completed): the failing
+	// stage, the final attempt's error, and how many attempts the retry
+	// policy consumed — only the final attempt is kept, so a high-fault
+	// chaos sweep cannot grow the Result without bound. Errors[i]
+	// corresponds to Candidates[i]. A premise-less candidate can still
+	// become Final through the top-1 fallback, so drivers use this to
+	// distinguish "failed to execute" from "examined but not verified".
+	Errors []resilience.StageError
+	// Retries counts the transient re-attempts the resilience policy
+	// consumed across the translate stage and the examined candidates —
+	// the faults that were retried away and so appear nowhere in Errors.
+	// It is deterministic for a deterministic fault source, so parity
+	// suites can compare it across parallelism levels.
+	Retries int
+	// Degraded marks a translation that could not be verified because the
+	// verify-stage circuit breaker was open: the loop stopped burning
+	// candidates against a dead verifier and fell back to the best-scored
+	// unverified candidate. Verified is always false when Degraded is set.
+	Degraded bool
 	// Overhead is the wall-clock cost of the feedback loop itself
 	// (execution + explanation + verification), excluding model inference.
 	Overhead time.Duration
@@ -166,6 +191,14 @@ type Pipeline struct {
 	// > 1 the Feedback and Verifier must be safe for concurrent use (the
 	// implementations in this repository are).
 	Parallelism int
+
+	// Resilience, when non-nil, wraps every loop stage with the policy's
+	// retry/backoff and per-stage circuit breakers, and recovers stage
+	// panics into StageErrors (see the package comment). Policies are
+	// meant to be shared: every pipeline of a sweep holding the same
+	// *Policy shares its breakers and reliability counters. A nil policy
+	// means single attempts and no breakers — the pre-resilience loop.
+	Resilience *resilience.Policy
 
 	// execs, when non-nil, keeps one executor per database alive across
 	// Translate calls. Beam candidates are fresh ASTs per call, but their
@@ -223,11 +256,14 @@ func (p *Pipeline) Translate(ctx context.Context, ex datasets.Example, db *stora
 	if k <= 0 {
 		k = 8
 	}
-	candidates := p.Model.Translate(p.Benchmark, ex, db, k)
+	candidates, translateRetries, err := p.beam(ctx, ex, db, k)
+	if err != nil {
+		return nil, err
+	}
 	if len(candidates) == 0 {
 		return nil, fmt.Errorf("core: model %s produced no candidates", p.Model.Name())
 	}
-	res := &Result{Candidates: candidates}
+	res := &Result{Candidates: candidates, Retries: translateRetries}
 	start := time.Now()
 	defer func() { res.Overhead = time.Since(start) }()
 	// One executor serves every candidate — and, when the pipeline came
@@ -245,16 +281,52 @@ func (p *Pipeline) Translate(ctx context.Context, ex datasets.Example, db *stora
 		return nil, err
 	}
 	if !res.Verified {
-		// No candidate validated: the top-1 candidate is the outcome.
+		// No candidate validated — or the verify breaker forced graceful
+		// degradation: the best-scored (top-1) candidate is the outcome.
 		res.Final = candidates[0].Stmt
 		res.FinalSQL = candidates[0].SQL
+	}
+	if res.Degraded {
+		p.Resilience.Collect().AddDegraded()
 	}
 	return res, nil
 }
 
+// beam produces the candidate list, running the model's inference as the
+// translate stage of the resilience policy (when one is configured):
+// transient beam faults are retried within ctx's budget, and a panicking
+// model fails the translation instead of the process. Without a policy
+// the call is direct — plus cancellation awareness via
+// nl2sql.TranslateContext — at no added allocation.
+func (p *Pipeline) beam(ctx context.Context, ex datasets.Example, db *storage.Database, k int) ([]nl2sql.Candidate, int, error) {
+	if p.Resilience == nil {
+		cands, err := nl2sql.TranslateContext(ctx, p.Model, p.Benchmark, ex, db, k)
+		return cands, 0, err
+	}
+	var cands []nl2sql.Candidate
+	se, attempts, _ := p.stage(ctx, resilience.StageTranslate, p.Benchmark+"\x00"+ex.ID, func(ctx context.Context) error {
+		var err error
+		cands, err = nl2sql.TranslateContext(ctx, p.Model, p.Benchmark, ex, db, k)
+		return err
+	})
+	retries := 0
+	if attempts > 1 {
+		retries = attempts - 1
+	}
+	if !se.IsZero() {
+		if err := ctx.Err(); err != nil {
+			return nil, retries, err
+		}
+		return nil, retries, fmt.Errorf("core: %w", error(se))
+	}
+	return cands, retries, nil
+}
+
 // runSequential is the paper's loop: examine candidates one at a time in
 // beam order, stopping at the first validated one — or at cancellation,
-// which Translate converts into an error return.
+// which Translate converts into an error return, or at verify-breaker
+// degradation, which stops the loop on the spot (every later candidate
+// would hit the same open circuit).
 func (p *Pipeline) runSequential(ctx context.Context, res *Result, ex datasets.Example, db *storage.Database, fb Feedback, executor *sqleval.Executor, candidates []nl2sql.Candidate) {
 	for i, cand := range candidates {
 		if ctx.Err() != nil {
@@ -264,6 +336,11 @@ func (p *Pipeline) runSequential(ctx context.Context, res *Result, ex datasets.E
 		res.Iterations = i + 1
 		res.Premises = append(res.Premises, o.premise)
 		res.Errors = append(res.Errors, o.err)
+		res.Retries += o.retries
+		if o.degraded {
+			res.Degraded = true
+			return
+		}
 		if o.verified {
 			res.Final = cand.Stmt
 			res.FinalSQL = cand.SQL
@@ -274,48 +351,87 @@ func (p *Pipeline) runSequential(ctx context.Context, res *Result, ex datasets.E
 }
 
 // candOutcome is the result of examining one candidate: its feedback
-// premise (or the error that prevented one) and the verifier's verdict.
+// premise (or the stage error that prevented one), the verifier's
+// verdict, the transient re-attempts consumed along the way, and whether
+// an open verify breaker forced degradation.
 type candOutcome struct {
 	premise  nli.Premise
-	err      string
+	err      resilience.StageError
 	verified bool
+	retries  int
+	degraded bool
 }
 
 // examine runs the execute → explain → verify chain for one candidate.
 // Both the sequential loop and the parallel workers go through it, so the
 // two paths produce identical premises, errors and verdicts by
-// construction. A cancelled ctx surfaces as an "execute:"/"explain:"/
-// "verify:" error outcome; callers that care (the parallel committer
+// construction. A cancelled ctx surfaces as an error outcome tagged with
+// the stage that observed it; callers that care (the parallel committer
 // discarding in-flight losers, Translate's error return) check the
-// context itself rather than parsing the string. The verdict runs through
+// context itself rather than the record. The verdict runs through
 // nli.VerifyContext, so a verifier with real inference waits (an
 // nli.ContextVerifier, e.g. nli.Latency) abandons them the moment the
-// candidate can no longer win — the parallel path cancels stragglers once
-// an earlier candidate validates, which previously aborted only their SQL
-// execution and explanation, not a simulated verifier inference already
-// in flight.
-func (p *Pipeline) examine(ctx context.Context, question string, db *storage.Database, fb Feedback, executor *sqleval.Executor, cand nl2sql.Candidate) candOutcome {
+// candidate can no longer win. A panic anywhere in the chain — a buggy or
+// fault-injected model call — is recovered into the running stage's
+// StageError on both paths, so one crashing candidate cannot take down
+// the process (or the parallel pool). With a Resilience policy the chain
+// additionally retries transient faults and consults the per-stage
+// breakers (examineResilient).
+func (p *Pipeline) examine(ctx context.Context, question string, db *storage.Database, fb Feedback, executor *sqleval.Executor, cand nl2sql.Candidate) (out candOutcome) {
+	if p.Resilience != nil {
+		return p.examineResilient(ctx, question, db, fb, executor, cand)
+	}
+	// The policy-free fast path: single attempts, no breakers, and — by
+	// construction — zero allocation beyond the pre-resilience loop. The
+	// stage marker makes the recover below attribute a panic correctly.
+	stage := resilience.StageExecute
+	out.premise = nli.Premise{SQL: cand.SQL}
+	defer func() {
+		if v := recover(); v != nil {
+			perr := resilience.Recovered(v)
+			out.err = resilience.StageError{Stage: stage, Attempt: 1, Err: perr.Error(), Transient: resilience.IsTransient(perr)}
+			out.verified = false
+		}
+	}()
 	rel, err := executor.ExecContext(ctx, cand.Stmt)
 	if err != nil {
 		// Invalid SQL can never validate; record an empty premise with the
 		// failure and move on.
-		return candOutcome{premise: nli.Premise{SQL: cand.SQL}, err: "execute: " + err.Error()}
+		out.err = resilience.StageError{Stage: stage, Attempt: 1, Err: err.Error()}
+		return out
 	}
+	stage = resilience.StageExplain
 	premise, err := fb.Premise(ctx, db, cand.Stmt, rel)
 	if err != nil {
-		return candOutcome{premise: nli.Premise{SQL: cand.SQL}, err: "explain: " + err.Error()}
+		out.err = resilience.StageError{Stage: stage, Attempt: 1, Err: err.Error()}
+		return out
 	}
+	out.premise = premise
+	stage = resilience.StageVerify
 	verified, err := nli.VerifyContext(ctx, p.Verifier, question, premise)
 	if err != nil {
-		return candOutcome{premise: premise, err: "verify: " + err.Error()}
+		out.err = resilience.StageError{Stage: stage, Attempt: 1, Err: err.Error()}
+		return out
 	}
-	return candOutcome{premise: premise, verified: verified}
+	out.verified = verified
+	return out
 }
 
 // Baseline returns the model's unassisted top-1 translation, the "Base"
 // rows of the paper's tables.
 func (p *Pipeline) Baseline(ex datasets.Example, db *storage.Database) (*sqlast.SelectStmt, error) {
-	candidates := p.Model.Translate(p.Benchmark, ex, db, 1)
+	return p.BaselineContext(context.Background(), ex, db)
+}
+
+// BaselineContext is Baseline under a context: cancellable for a
+// ContextModel, and run as the translate stage of the resilience policy
+// when one is configured — so a chaos sweep's baseline rows heal from
+// transient beam faults exactly as the loop's own beam does.
+func (p *Pipeline) BaselineContext(ctx context.Context, ex datasets.Example, db *storage.Database) (*sqlast.SelectStmt, error) {
+	candidates, _, err := p.beam(ctx, ex, db, 1)
+	if err != nil {
+		return nil, err
+	}
 	if len(candidates) == 0 {
 		return nil, fmt.Errorf("core: model %s produced no candidates", p.Model.Name())
 	}

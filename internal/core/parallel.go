@@ -8,6 +8,7 @@ import (
 	"cyclesql/internal/datasets"
 	"cyclesql/internal/nl2sql"
 	"cyclesql/internal/nli"
+	"cyclesql/internal/resilience"
 	"cyclesql/internal/sqleval"
 	"cyclesql/internal/storage"
 )
@@ -62,8 +63,10 @@ func (p *Pipeline) runParallel(ctx context.Context, res *Result, ex datasets.Exa
 					// dead context: the committer may still be draining
 					// beam order (the caller's deadline fired mid-loop),
 					// and an unpublished slot would block it forever. The
-					// outcome mirrors what examine would have produced.
-					outcomes[i] <- candOutcome{premise: nli.Premise{SQL: candidates[i].SQL}, err: "execute: " + err.Error()}
+					// outcome mirrors what examine would have produced —
+					// the execute stage observing the dead context before
+					// any attempt ran.
+					outcomes[i] <- candOutcome{premise: nli.Premise{SQL: candidates[i].SQL}, err: resilience.StageError{Stage: resilience.StageExecute, Attempt: 1, Err: err.Error()}}
 					continue
 				}
 				outcomes[i] <- p.examine(specCtx, ex.Question, db, fb, executor, candidates[i])
@@ -82,6 +85,15 @@ func (p *Pipeline) runParallel(ctx context.Context, res *Result, ex datasets.Exa
 		res.Iterations = i + 1
 		res.Premises = append(res.Premises, o.premise)
 		res.Errors = append(res.Errors, o.err)
+		res.Retries += o.retries
+		if o.degraded {
+			// Verify breaker open: stop committing (the sequential loop
+			// stops examining here) and abort in-flight speculation — every
+			// later candidate would hit the same open circuit.
+			res.Degraded = true
+			cancelSpec()
+			break
+		}
 		if o.verified {
 			res.Final = candidates[i].Stmt
 			res.FinalSQL = candidates[i].SQL

@@ -12,6 +12,7 @@ import (
 	"cyclesql/internal/explain"
 	"cyclesql/internal/nl2sql"
 	"cyclesql/internal/nli"
+	"cyclesql/internal/resilience"
 	"cyclesql/internal/sqlast"
 	"cyclesql/internal/storage"
 )
@@ -198,11 +199,14 @@ func TestTranslateRecordsCandidateErrors(t *testing.T) {
 		if len(res.Errors) != 2 {
 			t.Fatalf("want 2 error slots, got %d", len(res.Errors))
 		}
-		if !strings.HasPrefix(res.Errors[0], "execute: ") {
-			t.Fatalf("candidate 1 must record its execution failure, got %q", res.Errors[0])
+		if res.Errors[0].Stage != resilience.StageExecute || res.Errors[0].Err == "" {
+			t.Fatalf("candidate 1 must record its execution failure, got %+v", res.Errors[0])
 		}
-		if res.Errors[1] != "" {
-			t.Fatalf("candidate 2 executed fine, got error %q", res.Errors[1])
+		if !strings.HasPrefix(res.Errors[0].Error(), "execute: ") {
+			t.Fatalf("stage error must render the execute prefix drivers log, got %q", res.Errors[0].Error())
+		}
+		if !res.Errors[1].IsZero() {
+			t.Fatalf("candidate 2 executed fine, got error %+v", res.Errors[1])
 		}
 		if res.Premises[0].Explanation != "" || res.Premises[0].SQL != bad.SQL() {
 			t.Fatalf("failed candidate keeps the empty premise shape, got %+v", res.Premises[0])

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"context"
+
+	"cyclesql/internal/nl2sql"
+	"cyclesql/internal/nli"
+	"cyclesql/internal/resilience"
+	"cyclesql/internal/sqleval"
+	"cyclesql/internal/sqltypes"
+	"cyclesql/internal/storage"
+)
+
+// stage runs one pipeline stage under the resilience policy: the stage's
+// breaker gates admission, transient faults are retried with the policy's
+// backoff inside ctx's budget, and a panicking attempt is recovered into
+// an error (retryable when the panic value was a transient-marked error —
+// injected chaos — permanent otherwise). It returns the stage's outcome
+// as a StageError (zero on success), the number of attempts consumed, and
+// whether an open breaker denied the call outright.
+//
+// Breaker accounting records infrastructure signal only: success for any
+// completed answer — including a permanent semantic error, which proves
+// the stage is up — failure for a transient fault that survived the whole
+// retry budget, and nothing for context cancellation (the budget died,
+// not the stage). Each attempt is identified to deterministic fault
+// sources by the per-call key plus the attempt number (resilience.
+// WithAttempt), so retries reroll their faults schedule-independently.
+//
+// Requires p.Resilience != nil; the policy-free path never comes here.
+func (p *Pipeline) stage(ctx context.Context, st resilience.Stage, key string, fn func(context.Context) error) (se resilience.StageError, attempts int, open bool) {
+	pol := p.Resilience
+	col := pol.Collect()
+	br := pol.BreakerFor(st)
+	if !br.Allow() {
+		return resilience.StageError{Stage: st, Err: "circuit open", Transient: true}, 0, true
+	}
+	attempts, err := pol.RetryPolicy().Do(ctx, key, func(actx context.Context) (aerr error) {
+		defer func() {
+			if v := recover(); v != nil {
+				aerr = resilience.Recovered(v)
+				col.AddPanicRecovered()
+			}
+		}()
+		return fn(actx)
+	})
+	col.AddAttempts(attempts)
+	if attempts > 1 {
+		col.AddRetries(attempts - 1)
+	}
+	switch {
+	case err == nil:
+		br.Record(true)
+		return resilience.StageError{}, attempts, false
+	case resilience.IsContextError(err):
+		// No signal about the stage itself; free a half-open probe slot.
+		br.Release()
+	default:
+		// Transient exhausted = infrastructure failure; a permanent
+		// (semantic) error means the stage answered and is healthy.
+		br.Record(!resilience.IsTransient(err))
+	}
+	return resilience.StageError{Stage: st, Attempt: attempts, Err: err.Error(), Transient: resilience.IsTransient(err)}, attempts, false
+}
+
+// examineResilient is examine's policy-wrapped form: the same execute →
+// explain → verify chain, each link run through stage. An open breaker on
+// execute or explain just fails the candidate (the loop moves on); an
+// open breaker on verify degrades the whole translation — the candidate
+// executed and explained fine, the verdict is what's unavailable — which
+// the loops surface as Result.Degraded with the top-1 fallback.
+func (p *Pipeline) examineResilient(ctx context.Context, question string, db *storage.Database, fb Feedback, executor *sqleval.Executor, cand nl2sql.Candidate) candOutcome {
+	var out candOutcome
+	out.premise = nli.Premise{SQL: cand.SQL}
+
+	var rel *sqltypes.Relation
+	se, attempts, _ := p.stage(ctx, resilience.StageExecute, cand.SQL, func(actx context.Context) error {
+		var err error
+		rel, err = executor.ExecContext(actx, cand.Stmt)
+		return err
+	})
+	out.retries += retriesOf(attempts)
+	if !se.IsZero() {
+		out.err = se
+		return out
+	}
+
+	var premise nli.Premise
+	se, attempts, _ = p.stage(ctx, resilience.StageExplain, cand.SQL, func(actx context.Context) error {
+		var err error
+		premise, err = fb.Premise(actx, db, cand.Stmt, rel)
+		return err
+	})
+	out.retries += retriesOf(attempts)
+	if !se.IsZero() {
+		out.err = se
+		return out
+	}
+	out.premise = premise
+
+	var verified bool
+	se, attempts, open := p.stage(ctx, resilience.StageVerify, question+"\x00"+cand.SQL, func(actx context.Context) error {
+		var err error
+		verified, err = nli.VerifyContext(actx, p.Verifier, question, premise)
+		return err
+	})
+	out.retries += retriesOf(attempts)
+	if open {
+		out.err = se
+		out.degraded = true
+		return out
+	}
+	if !se.IsZero() {
+		out.err = se
+		return out
+	}
+	out.verified = verified
+	return out
+}
+
+func retriesOf(attempts int) int {
+	if attempts > 1 {
+		return attempts - 1
+	}
+	return 0
+}

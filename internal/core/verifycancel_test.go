@@ -99,7 +99,7 @@ func TestSequentialVerifyContextParity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !res.Verified || res.Errors[0] != "" {
+	if !res.Verified || !res.Errors[0].IsZero() {
 		t.Fatalf("verdict through VerifyContext diverged: %+v", res)
 	}
 }

@@ -1,0 +1,152 @@
+package experiments
+
+// The chaos-parity suite — the PR's keystone. A sweep with deterministic
+// faults injected around every model call (errors, hangs, panics, added
+// latency) and retries enabled must reproduce the fault-free sweep's
+// Results bit for bit — same Final, Verified, Iterations, Premises and
+// Errors (modulo the attempt counter) — at worker/parallelism 1, 4 and 8.
+// The determinism chain it locks in: fault draws are pure functions of
+// (seed, kind, call identity, attempt), retries reroll the draw, and the
+// loop commits candidates in beam order, so no goroutine schedule can
+// leak into a Result.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"cyclesql/internal/core"
+	"cyclesql/internal/datasets"
+	"cyclesql/internal/faultinject"
+	"cyclesql/internal/nl2sql"
+	"cyclesql/internal/resilience"
+)
+
+// chaosFaults is the suite's locked chaos weather: with the retry budget
+// below, no call exhausts its attempts under this seed, so every fault
+// heals and nothing degrades. P(one attempt faults) ≈ 0.28; eight
+// attempts make exhaustion vanishingly rare and the seed pins the draws
+// either way.
+var chaosFaults = faultinject.Config{
+	Seed:      7,
+	ErrorRate: 0.2,
+	HangRate:  0.05, HangTimeout: time.Millisecond,
+	PanicRate:   0.05,
+	LatencyRate: 0.1, Latency: 200 * time.Microsecond,
+}
+
+// chaosPolicy is the matching resilience policy: a retry budget deep
+// enough to outlast the fault rates, backoffs in microseconds so the
+// suite stays fast, breakers armed so a trip (which would break parity)
+// fails the run loudly through the collector.
+func chaosPolicy() *resilience.Policy {
+	return &resilience.Policy{
+		Retry:     resilience.Retry{MaxAttempts: 8, BaseDelay: 100 * time.Microsecond, MaxDelay: time.Millisecond, Seed: 7},
+		Breaker:   resilience.BreakerConfig{Threshold: 5, Cooldown: 50 * time.Millisecond},
+		Collector: &resilience.Collector{},
+	}
+}
+
+// chaosSweep translates dev through one pipeline built under the limits
+// (faults and resilience included), on the limits' batch pool.
+func chaosSweep(t *testing.T, dev []datasets.Example, lim Limits) []*core.Result {
+	t.Helper()
+	bench := datasets.Spider()
+	p := lim.pipeline(nl2sql.MustByName("resdsql-3b"), Verifier(tinyLimits), bench.Name, nil)
+	results := make([]*core.Result, len(dev))
+	errs := lim.batch().Run(context.Background(), len(dev), func(ctx context.Context, i int) error {
+		res, err := p.Translate(ctx, dev[i], bench.DB(dev[i].DBName))
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err := firstError(dev, errs); err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+func TestChaosParity(t *testing.T) {
+	bench := datasets.Spider()
+	dev := bench.Dev
+	if len(dev) > 200 {
+		dev = dev[:200]
+	}
+	want := chaosSweep(t, dev, Limits{Workers: 1, Parallelism: 1})
+	for _, n := range []int{1, 4, 8} {
+		lim := Limits{Workers: n, Parallelism: n, Faults: chaosFaults, Resilience: chaosPolicy()}
+		got := chaosSweep(t, dev, lim)
+		retries := 0
+		for i := range dev {
+			w, g := want[i], got[i]
+			if w.FinalSQL != g.FinalSQL || w.Verified != g.Verified || w.Iterations != g.Iterations {
+				t.Fatalf("workers=parallelism=%d chaos diverges on %q:\nclean: final=%q verified=%v iter=%d\nchaos: final=%q verified=%v iter=%d",
+					n, dev[i].Question, w.FinalSQL, w.Verified, w.Iterations, g.FinalSQL, g.Verified, g.Iterations)
+			}
+			if g.Degraded {
+				t.Fatalf("workers=%d: nothing may degrade when every fault heals: %q", n, dev[i].Question)
+			}
+			if len(w.Premises) != len(g.Premises) || len(w.Errors) != len(g.Errors) {
+				t.Fatalf("workers=%d premise/error counts diverge on %q", n, dev[i].Question)
+			}
+			for j := range w.Premises {
+				if w.Premises[j] != g.Premises[j] {
+					t.Fatalf("workers=%d premise %d diverges on %q:\nclean: %+v\nchaos: %+v",
+						n, j, dev[i].Question, w.Premises[j], g.Premises[j])
+				}
+				// Errors compare modulo the attempt counter: a permanent
+				// failure surfaces either way, but chaos may have burned
+				// retries in front of it.
+				we, ge := w.Errors[j], g.Errors[j]
+				we.Attempt, ge.Attempt = 0, 0
+				if we != ge {
+					t.Fatalf("workers=%d error %d diverges on %q:\nclean: %+v\nchaos: %+v",
+						n, j, dev[i].Question, w.Errors[j], g.Errors[j])
+				}
+			}
+			retries += g.Retries
+		}
+		s := lim.Resilience.Stats()
+		switch {
+		case retries == 0 || s.Retries == 0:
+			t.Fatalf("workers=%d: a 20%% fault rate must force retries (results=%d collector=%+v)", n, retries, s)
+		case s.PanicsRecovered == 0:
+			t.Fatalf("workers=%d: injected panics must have fired and been recovered: %+v", n, s)
+		case s.BreakerTrips != 0 || s.Degraded != 0:
+			t.Fatalf("workers=%d: no breaker may trip when every fault heals: %+v", n, s)
+		case s.Attempts <= s.Retries:
+			t.Fatalf("workers=%d: attempts must dominate retries: %+v", n, s)
+		}
+	}
+}
+
+// TestChaosSweepSurfacesRetryCounts pins the driver-level accounting the
+// CLIs print: a chaotic EvaluateModel folds per-example retries into
+// PairScores and scores the same tables as the fault-free run.
+func TestChaosSweepSurfacesRetryCounts(t *testing.T) {
+	bench := datasets.Spider()
+	lim := tinyLimits
+	lim.MaxDev = 24
+	clean, err := EvaluateModel(context.Background(), bench, "resdsql-3b", Verifier(tinyLimits), lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lim.Workers, lim.Parallelism = 4, 2
+	lim.Faults = chaosFaults
+	lim.Resilience = chaosPolicy()
+	chaos, err := EvaluateModel(context.Background(), bench, "resdsql-3b", Verifier(tinyLimits), lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chaos.Base != clean.Base || chaos.Loop != clean.Loop || chaos.AvgIterations != clean.AvgIterations {
+		t.Fatalf("chaos run must score identical tables:\nclean: %+v\nchaos: %+v", clean, chaos)
+	}
+	if clean.Retries != 0 || clean.Degraded != 0 {
+		t.Fatalf("fault-free sweep must report zero resilience activity: %+v", clean)
+	}
+	if chaos.Retries == 0 || chaos.Degraded != 0 {
+		t.Fatalf("chaotic sweep must surface its healed retries and no degradation: %+v", chaos)
+	}
+}

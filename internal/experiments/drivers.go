@@ -114,8 +114,7 @@ func Table2(ctx context.Context, lim Limits) (*Table, error) {
 	}
 	for _, modelName := range Table1Models {
 		model := nl2sql.MustByName(modelName)
-		p := core.NewPipeline(model, verifier, bench.Name)
-		p.Parallelism = lim.Parallelism
+		p := lim.pipeline(model, verifier, bench.Name, nil)
 		if isLLM(modelName) {
 			p.BeamSize = 5
 		}
@@ -124,7 +123,7 @@ func Table2(ctx context.Context, lim Limits) (*Table, error) {
 		errs := lim.batch().Run(ctx, len(dev), func(ctx context.Context, i int) error {
 			ex := dev[i]
 			db := bench.DB(ex.DBName)
-			base, err := p.Baseline(ex, db)
+			base, err := p.BaselineContext(ctx, ex, db)
 			if err != nil {
 				return err
 			}
@@ -251,10 +250,8 @@ func Fig9(ctx context.Context, lim Limits) (*Table, error) {
 			}
 			model := nl2sql.MustByName(modelName)
 			dev := devSlice(bench, lim)
-			pc := core.NewPipeline(model, cycleVerifier, bench.Name)
-			psq := core.NewPipeline(model, sql2nlVerifier, bench.Name)
-			pc.Parallelism, psq.Parallelism = lim.Parallelism, lim.Parallelism
-			psq.Feedback = core.SQL2NLFeedback{}
+			pc := lim.pipeline(model, cycleVerifier, bench.Name, nil)
+			psq := lim.pipeline(model, sql2nlVerifier, bench.Name, core.SQL2NLFeedback{})
 			if isLLM(modelName) {
 				pc.BeamSize, psq.BeamSize = 5, 5
 			}
@@ -263,7 +260,7 @@ func Fig9(ctx context.Context, lim Limits) (*Table, error) {
 			errs := lim.batch().Run(ctx, len(dev), func(ctx context.Context, i int) error {
 				ex := dev[i]
 				db := bench.DB(ex.DBName)
-				base, err := pc.Baseline(ex, db)
+				base, err := pc.BaselineContext(ctx, ex, db)
 				if err != nil {
 					return err
 				}

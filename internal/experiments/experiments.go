@@ -40,8 +40,10 @@ import (
 	"cyclesql/internal/core"
 	"cyclesql/internal/datasets"
 	"cyclesql/internal/eval"
+	"cyclesql/internal/faultinject"
 	"cyclesql/internal/nl2sql"
 	"cyclesql/internal/nli"
+	"cyclesql/internal/resilience"
 )
 
 // Limits keeps experiment runtime tractable; 0 means the full split.
@@ -68,6 +70,33 @@ type Limits struct {
 	// the batch runner enforces; an example that exceeds it fails with the
 	// deadline error instead of stalling the sweep.
 	ExampleTimeout time.Duration
+	// Resilience, when non-nil, is handed to every pipeline the drivers
+	// build (see core.Pipeline.Resilience): retries for transient stage
+	// faults, per-stage circuit breakers, and shared reliability counters.
+	Resilience *resilience.Policy
+	// Faults configures deterministic chaos injection around every model
+	// call of every pipeline the drivers build (the zero value injects
+	// nothing and adds no wrappers). With Resilience retries enabled and
+	// no retry-budget exhaustion, a faulted sweep's tables are
+	// bit-identical to the fault-free sweep's — the chaos-parity property
+	// the test suite locks in.
+	Faults faultinject.Config
+}
+
+// pipeline builds one driver pipeline under the limits: the fault
+// injector wraps the model, verifier and feedback (when faults are
+// enabled), and the parallelism knob and resilience policy apply
+// uniformly. A nil fb means the default data-grounded feedback.
+func (l Limits) pipeline(model nl2sql.Model, verifier nli.Verifier, benchmark string, fb core.Feedback) *core.Pipeline {
+	inj := faultinject.New(l.Faults)
+	p := core.NewPipeline(inj.WrapModel(model), inj.WrapVerifier(verifier), benchmark)
+	if fb == nil {
+		fb = p.Feedback
+	}
+	p.Feedback = inj.WrapFeedback(fb)
+	p.Parallelism = l.Parallelism
+	p.Resilience = l.Resilience
+	return p
 }
 
 // batch returns the cross-example worker pool the limits configure.
@@ -152,6 +181,12 @@ type PairScores struct {
 	// AvgIterations and overhead feed Fig 8.
 	AvgIterations float64
 	AvgOverheadMS float64
+	// Retries and Degraded surface the sweep's resilience outcomes: total
+	// transient re-attempts the loop healed from, and how many examples
+	// returned a degraded (verify-breaker-open) Result. Both are zero on a
+	// fault-free run and deterministic under deterministic fault injection.
+	Retries  int
+	Degraded int
 }
 
 // exampleScores is one example's contribution to PairScores, captured in
@@ -161,6 +196,8 @@ type exampleScores struct {
 	loopEM, loopEX, loopTS bool
 	iterations             int
 	overheadMS             float64
+	retries                int
+	degraded               bool
 }
 
 // EvaluateModel runs the base model and the CycleSQL pipeline over the
@@ -169,8 +206,7 @@ type exampleScores struct {
 // fold in dev order, so the scores are identical at every worker count.
 func EvaluateModel(ctx context.Context, b *datasets.Benchmark, modelName string, verifier nli.Verifier, lim Limits) (PairScores, error) {
 	model := nl2sql.MustByName(modelName)
-	p := core.NewPipeline(model, verifier, b.Name)
-	p.Parallelism = lim.Parallelism
+	p := lim.pipeline(model, verifier, b.Name, nil)
 	if isLLM(modelName) {
 		p.BeamSize = 5 // the paper's chat-completion n parameter
 	}
@@ -180,7 +216,7 @@ func EvaluateModel(ctx context.Context, b *datasets.Benchmark, modelName string,
 		ex := dev[i]
 		db := b.DB(ex.DBName)
 		suite := suiteFor(b, ex.DBName)
-		base, err := p.Baseline(ex, db)
+		base, err := p.BaselineContext(ctx, ex, db)
 		if err != nil {
 			return err
 		}
@@ -193,6 +229,8 @@ func EvaluateModel(ctx context.Context, b *datasets.Benchmark, modelName string,
 			loopEM: eval.EM(res.Final, ex.Gold), loopEX: eval.EXContext(ctx, db, res.Final, ex.Gold), loopTS: eval.TSContext(ctx, suite, res.Final, ex.Gold),
 			iterations: res.Iterations,
 			overheadMS: float64(res.Overhead.Microseconds()) / 1000.0,
+			retries:    res.Retries,
+			degraded:   res.Degraded,
 		}
 		// Scoring under a fired deadline silently fails EX/TS; surface the
 		// deadline as this example's error instead of recording bogus scores.
@@ -203,11 +241,16 @@ func EvaluateModel(ctx context.Context, b *datasets.Benchmark, modelName string,
 	}
 	var baseC, loopC eval.Counter
 	iterSum, overheadSum := 0.0, 0.0
+	retries, degraded := 0, 0
 	for _, o := range outs {
 		baseC.Add(o.baseEM, o.baseEX, o.baseTS)
 		loopC.Add(o.loopEM, o.loopEX, o.loopTS)
 		iterSum += float64(o.iterations)
 		overheadSum += o.overheadMS
+		retries += o.retries
+		if o.degraded {
+			degraded++
+		}
 	}
 	n := float64(len(dev))
 	return PairScores{
@@ -217,6 +260,8 @@ func EvaluateModel(ctx context.Context, b *datasets.Benchmark, modelName string,
 		Loop:          loopC.Scores(),
 		AvgIterations: iterSum / n,
 		AvgOverheadMS: overheadSum / n,
+		Retries:       retries,
+		Degraded:      degraded,
 	}, nil
 }
 

@@ -1,0 +1,75 @@
+package nl2sql
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"cyclesql/internal/datasets"
+	"cyclesql/internal/storage"
+)
+
+// plainModel is a Model without TranslateContext; ctxModel adds it and
+// records whether the context path was taken.
+type plainModel struct{ cands []Candidate }
+
+func (p plainModel) Name() string               { return "plain" }
+func (p plainModel) BaseLatency() time.Duration { return 0 }
+func (p plainModel) Translate(string, datasets.Example, *storage.Database, int) []Candidate {
+	return p.cands
+}
+
+type ctxModel struct {
+	plainModel
+	viaContext bool
+	err        error
+}
+
+func (c *ctxModel) TranslateContext(ctx context.Context, benchmark string, ex datasets.Example, db *storage.Database, k int) ([]Candidate, error) {
+	c.viaContext = true
+	if c.err != nil {
+		return nil, c.err
+	}
+	return c.cands, nil
+}
+
+func TestTranslateContextDispatch(t *testing.T) {
+	want := []Candidate{{SQL: "SELECT 1", Score: 1}}
+
+	// A plain Model falls back to the synchronous Translate.
+	got, err := TranslateContext(context.Background(), plainModel{cands: want}, "spider", datasets.Example{}, nil, 1)
+	if err != nil || len(got) != 1 || got[0].SQL != want[0].SQL {
+		t.Fatalf("plain-model fallback: got %v, %v", got, err)
+	}
+
+	// A ContextModel is handed the context.
+	cm := &ctxModel{plainModel: plainModel{cands: want}}
+	got, err = TranslateContext(context.Background(), cm, "spider", datasets.Example{}, nil, 1)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("context-model dispatch: got %v, %v", got, err)
+	}
+	if !cm.viaContext {
+		t.Fatal("ContextModel must be dispatched through TranslateContext")
+	}
+
+	// Its error propagates.
+	boom := errors.New("beam down")
+	cm = &ctxModel{err: boom}
+	if _, err = TranslateContext(context.Background(), cm, "spider", datasets.Example{}, nil, 1); !errors.Is(err, boom) {
+		t.Fatalf("model error must propagate, got %v", err)
+	}
+}
+
+func TestTranslateContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cm := &ctxModel{plainModel: plainModel{cands: []Candidate{{SQL: "SELECT 1"}}}}
+	got, err := TranslateContext(ctx, cm, "spider", datasets.Example{}, nil, 1)
+	if !errors.Is(err, context.Canceled) || got != nil {
+		t.Fatalf("done context must short-circuit: got %v, %v", got, err)
+	}
+	if cm.viaContext {
+		t.Fatal("no model work may run once the context is done")
+	}
+}

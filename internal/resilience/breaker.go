@@ -1,0 +1,328 @@
+package resilience
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// State is a circuit breaker's position.
+type State int32
+
+// Breaker states: Closed admits every call, Open fails fast, HalfOpen
+// admits a single probe after the cooldown.
+const (
+	Closed State = iota
+	Open
+	HalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Breaker is a consecutive-failure circuit breaker for one pipeline
+// stage. It is safe for concurrent use.
+//
+// Only infrastructure outcomes feed it: the loop records a failure when
+// a stage's transient faults survive the whole retry budget, and a
+// success when the stage reaches any real answer — including a semantic
+// error such as invalid candidate SQL, which proves the stage itself is
+// up. Context cancellation records nothing (no signal either way).
+//
+// Closed counts consecutive failures; Threshold of them opens the
+// circuit. While Open, Allow fails fast until Cooldown has elapsed, then
+// the breaker turns HalfOpen and admits exactly one probe: a probe
+// success closes the circuit, a probe failure reopens it (and restarts
+// the cooldown).
+type Breaker struct {
+	// Threshold is the consecutive-failure count that opens the circuit;
+	// values <= 0 disable the breaker entirely (Allow always true).
+	Threshold int
+	// Cooldown is the Open -> HalfOpen delay (default 250ms).
+	Cooldown time.Duration
+	// Clock overrides time.Now for deterministic tests.
+	Clock func() time.Time
+	// OnTrip, when non-nil, runs on every Closed/HalfOpen -> Open
+	// transition (under the breaker's lock; keep it cheap).
+	OnTrip func()
+
+	mu       sync.Mutex
+	state    State
+	failures int
+	openedAt time.Time
+	probing  bool
+	trips    int64
+}
+
+func (b *Breaker) now() time.Time {
+	if b.Clock != nil {
+		return b.Clock()
+	}
+	return time.Now()
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown > 0 {
+		return b.Cooldown
+	}
+	return 250 * time.Millisecond
+}
+
+// Allow reports whether a call may proceed. An admitted caller must
+// report its outcome with Record; a denied caller must not. A nil or
+// disabled breaker admits everything.
+func (b *Breaker) Allow() bool {
+	if b == nil || b.Threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.now().Sub(b.openedAt) < b.cooldown() {
+			return false
+		}
+		b.state = HalfOpen
+		b.probing = true
+		return true
+	default: // HalfOpen: one probe in flight at a time
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Record reports an admitted call's infrastructure outcome.
+func (b *Breaker) Record(success bool) {
+	if b == nil || b.Threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if success {
+		b.state = Closed
+		b.failures = 0
+		b.probing = false
+		return
+	}
+	if b.state == HalfOpen {
+		b.probing = false
+		b.trip()
+		return
+	}
+	b.failures++
+	if b.failures >= b.Threshold {
+		b.failures = 0
+		b.trip()
+	}
+}
+
+// Release returns an admitted call's slot without recording an outcome,
+// for calls that ended in context cancellation — no infrastructure
+// signal either way. Its only effect is freeing a half-open probe slot
+// so a cancelled probe cannot wedge the breaker.
+func (b *Breaker) Release() {
+	if b == nil || b.Threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+}
+
+// trip must be called with b.mu held.
+func (b *Breaker) trip() {
+	b.state = Open
+	b.openedAt = b.now()
+	b.trips++
+	if b.OnTrip != nil {
+		b.OnTrip()
+	}
+}
+
+// State returns the breaker's current position (without advancing the
+// Open -> HalfOpen clock; only Allow does that).
+func (b *Breaker) State() State {
+	if b == nil {
+		return Closed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips returns how many times the circuit has opened.
+func (b *Breaker) Trips() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// BreakerConfig templates the per-stage breakers a Policy builds.
+type BreakerConfig struct {
+	Threshold int
+	Cooldown  time.Duration
+}
+
+// Policy bundles the loop's resilience configuration: the retry policy
+// for transient stage faults, the per-stage circuit breaker template, and
+// an optional Collector accumulating reliability counters across calls.
+// A nil *Policy is valid everywhere and means "no retries, no breakers"
+// — the pre-resilience pipeline behavior (panic recovery in the loop is
+// unconditional and does not depend on a policy).
+//
+// The per-stage breakers are shared by every pipeline holding the same
+// *Policy, so a sweep's pipelines see one circuit per stage — which is
+// the point: the breaker models the health of the shared backing
+// service, not of one translation.
+type Policy struct {
+	Retry     Retry
+	Breaker   BreakerConfig
+	Collector *Collector
+
+	once     sync.Once
+	breakers map[Stage]*Breaker
+}
+
+func (p *Policy) init() {
+	p.once.Do(func() {
+		m := make(map[Stage]*Breaker, len(Stages))
+		for _, s := range Stages {
+			b := &Breaker{Threshold: p.Breaker.Threshold, Cooldown: p.Breaker.Cooldown}
+			if c := p.Collector; c != nil {
+				b.OnTrip = func() { c.trips.Add(1) }
+			}
+			m[s] = b
+		}
+		p.breakers = m
+	})
+}
+
+// BreakerFor returns the stage's shared breaker; nil (admit everything)
+// for a nil policy or an unknown stage.
+func (p *Policy) BreakerFor(stage Stage) *Breaker {
+	if p == nil {
+		return nil
+	}
+	p.init()
+	return p.breakers[stage]
+}
+
+// RetryPolicy returns the retry policy; the zero Retry (single attempt)
+// for a nil policy.
+func (p *Policy) RetryPolicy() Retry {
+	if p == nil {
+		return Retry{}
+	}
+	return p.Retry
+}
+
+// Collect returns the policy's collector, nil-safe.
+func (p *Policy) Collect() *Collector {
+	if p == nil {
+		return nil
+	}
+	return p.Collector
+}
+
+// Stats snapshots the policy's reliability counters, folding in the
+// per-stage breaker trip counts.
+func (p *Policy) Stats() Stats {
+	var s Stats
+	if p == nil {
+		return s
+	}
+	if p.Collector != nil {
+		s = p.Collector.Stats()
+	}
+	return s
+}
+
+// Collector accumulates reliability counters across Translate calls; the
+// CLIs print them as the exit summary. All methods are nil-safe and
+// atomic, so one collector can be shared by every worker of a sweep.
+// Note the counters are operational, not parity-comparable: speculative
+// candidates the parallel loop later discards still count their attempts.
+type Collector struct {
+	attempts atomic.Int64
+	retries  atomic.Int64
+	trips    atomic.Int64
+	degraded atomic.Int64
+	panics   atomic.Int64
+}
+
+// AddAttempts records n stage attempts (first tries and retries alike).
+func (c *Collector) AddAttempts(n int) {
+	if c != nil && n > 0 {
+		c.attempts.Add(int64(n))
+	}
+}
+
+// AddRetries records n transient re-attempts.
+func (c *Collector) AddRetries(n int) {
+	if c != nil && n > 0 {
+		c.retries.Add(int64(n))
+	}
+}
+
+// AddDegraded records one translation that returned a degraded Result.
+func (c *Collector) AddDegraded() {
+	if c != nil {
+		c.degraded.Add(1)
+	}
+}
+
+// AddPanicRecovered records one panic the loop recovered into a
+// StageError.
+func (c *Collector) AddPanicRecovered() {
+	if c != nil {
+		c.panics.Add(1)
+	}
+}
+
+// Stats snapshots the counters.
+func (c *Collector) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Attempts:        c.attempts.Load(),
+		Retries:         c.retries.Load(),
+		BreakerTrips:    c.trips.Load(),
+		Degraded:        c.degraded.Load(),
+		PanicsRecovered: c.panics.Load(),
+	}
+}
+
+// Stats is one reliability snapshot; String renders the CLIs' one-line
+// exit summary.
+type Stats struct {
+	Attempts        int64 // stage attempts, retries included
+	Retries         int64 // transient re-attempts
+	BreakerTrips    int64 // circuit openings across all stages
+	Degraded        int64 // translations that returned Result.Degraded
+	PanicsRecovered int64 // panics converted into StageErrors
+}
+
+// String implements fmt.Stringer.
+func (s Stats) String() string {
+	return fmt.Sprintf("attempts=%d retries=%d breaker-trips=%d degraded=%d panics-recovered=%d",
+		s.Attempts, s.Retries, s.BreakerTrips, s.Degraded, s.PanicsRecovered)
+}
