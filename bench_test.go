@@ -290,8 +290,8 @@ func loopBench(b *testing.B, parallelism int, verifyLatency time.Duration) {
 		// abandons its simulated inference mid-wait, as in deployment.
 		reject = nli.Latency{V: reject, D: verifyLatency}
 	}
-	p := core.NewPipeline(nl2sql.MustByName("resdsql-3b"), reject, bench.Name)
-	p.Parallelism = parallelism
+	p := core.New(nl2sql.MustByName("resdsql-3b"),
+		core.WithVerifier(reject), core.WithBenchmark(bench.Name), core.WithParallelism(parallelism))
 	var overhead time.Duration
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -338,7 +338,8 @@ func sweepBench(b *testing.B, workers int, verifyLatency time.Duration) {
 	if verifyLatency > 0 {
 		reject = nli.Latency{V: reject, D: verifyLatency}
 	}
-	p := core.NewPipeline(nl2sql.MustByName("resdsql-3b"), reject, bench.Name)
+	p := core.New(nl2sql.MustByName("resdsql-3b"),
+		core.WithVerifier(reject), core.WithBenchmark(bench.Name))
 	batch := experiments.Batch{Workers: workers}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -388,7 +389,8 @@ func resilientLoopBench(b *testing.B, parallelism int, faults faultinject.Config
 	dev := bench.Dev[:16]
 	var reject nli.Verifier = nli.Func{Label: "reject-all", Fn: func(string, nli.Premise) bool { return false }}
 	inj := faultinject.New(faults)
-	p := core.NewPipeline(inj.WrapModel(nl2sql.MustByName("resdsql-3b")), inj.WrapVerifier(reject), bench.Name)
+	p := core.New(inj.WrapModel(nl2sql.MustByName("resdsql-3b")),
+		core.WithVerifier(inj.WrapVerifier(reject)), core.WithBenchmark(bench.Name))
 	p.Feedback = inj.WrapFeedback(p.Feedback)
 	p.Parallelism = parallelism
 	p.Resilience = &resilience.Policy{

@@ -41,8 +41,8 @@ import (
 	"syscall"
 	"time"
 
+	"cyclesql/internal/cliconf"
 	"cyclesql/internal/experiments"
-	"cyclesql/internal/faultinject"
 	"cyclesql/internal/resilience"
 )
 
@@ -62,20 +62,10 @@ func exit(code int) {
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
-	dev := flag.Int("dev", experiments.DefaultLimits.MaxDev, "max dev examples per benchmark (0 = all)")
-	train := flag.Int("train", experiments.DefaultLimits.MaxTrain, "max train examples for verifier training (0 = all)")
-	parallel := flag.Int("parallel", 1, "concurrent candidate verifications per feedback loop (1 = the paper's sequential loop; results are identical either way)")
-	workers := flag.Int("workers", 1, "concurrent dev examples per experiment sweep (1 = sequential; tables are identical either way)")
-	timeout := flag.Duration("timeout", 0, "per-example wall-clock budget (0 = none), e.g. 30s")
 	list := flag.Bool("list", false, "list experiment ids and exit")
-	retries := flag.Int("retries", 0, "transient-fault retries per loop stage (0 = single attempts)")
-	breaker := flag.Int("breaker", 0, "circuit-breaker threshold in consecutive per-stage infrastructure failures (0 = no breaker)")
-	faultRate := flag.Float64("fault-rate", 0, "chaos: probability a model call returns a transient error")
-	faultHang := flag.Float64("fault-hang", 0, "chaos: probability a model call hangs (resolves as a transient timeout)")
-	faultPanic := flag.Float64("fault-panic", 0, "chaos: probability a model call panics (recovered by the loop)")
-	faultSlow := flag.Float64("fault-slow", 0, "chaos: probability a model call is slowed by -fault-latency")
-	faultLatency := flag.Duration("fault-latency", 2*time.Millisecond, "chaos: added latency per -fault-slow hit")
-	faultSeed := flag.Int64("fault-seed", 1, "chaos: seed for the deterministic fault and backoff-jitter draws")
+	opts := cliconf.Default()
+	opts.Bind(flag.CommandLine)
+	opts.BindTraining(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -84,25 +74,9 @@ func main() {
 		}
 		return
 	}
-	lim := experiments.DefaultLimits
-	lim.MaxDev = *dev
-	lim.MaxTrain = *train
-	lim.Parallelism = *parallel
-	lim.Workers = *workers
-	lim.ExampleTimeout = *timeout
-	lim.Faults = faultinject.Config{
-		Seed:      *faultSeed,
-		ErrorRate: *faultRate, HangRate: *faultHang,
-		PanicRate: *faultPanic, LatencyRate: *faultSlow, Latency: *faultLatency,
-	}
-	if *retries > 0 || *breaker > 0 || lim.Faults.Enabled() {
-		reliability = &resilience.Policy{
-			Retry:     resilience.Retry{MaxAttempts: *retries + 1, Seed: *faultSeed},
-			Breaker:   resilience.BreakerConfig{Threshold: *breaker},
-			Collector: &resilience.Collector{},
-		}
-		lim.Resilience = reliability
-	}
+	built := opts.Build()
+	lim := built.Limits
+	reliability = built.Policy
 
 	ids := experiments.IDs
 	if *exp != "all" {

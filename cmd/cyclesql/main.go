@@ -40,11 +40,11 @@ import (
 	"syscall"
 	"time"
 
+	"cyclesql/internal/cliconf"
 	"cyclesql/internal/core"
 	"cyclesql/internal/datasets"
 	"cyclesql/internal/eval"
 	"cyclesql/internal/experiments"
-	"cyclesql/internal/faultinject"
 	"cyclesql/internal/nl2sql"
 	"cyclesql/internal/resilience"
 )
@@ -67,33 +67,14 @@ func main() {
 	dbName := flag.String("db", "world_1", "database name inside the Spider benchmark")
 	modelName := flag.String("model", "resdsql-3b", "simulated translation model ("+strings.Join(nl2sql.ModelNames(), ", ")+")")
 	question := flag.String("q", "", "natural-language question (must be a benchmark question so the simulated model can translate it)")
-	beam := flag.Int("beam", 8, "candidate beam size")
-	parallel := flag.Int("parallel", 1, "concurrent candidate verifications (1 = the paper's sequential loop; results are identical either way)")
-	workers := flag.Int("workers", 1, "with -all: concurrent questions (1 = sequential; per-question results are identical either way)")
-	timeout := flag.Duration("timeout", 0, "per-question wall-clock budget (0 = none), e.g. 30s")
 	all := flag.Bool("all", false, "translate every benchmark question for -db instead of a single -q")
-	retries := flag.Int("retries", 0, "transient-fault retries per loop stage (0 = single attempts)")
-	breaker := flag.Int("breaker", 0, "circuit-breaker threshold in consecutive per-stage infrastructure failures (0 = no breaker)")
-	faultRate := flag.Float64("fault-rate", 0, "chaos: probability a model call returns a transient error")
-	faultHang := flag.Float64("fault-hang", 0, "chaos: probability a model call hangs (resolves as a transient timeout)")
-	faultPanic := flag.Float64("fault-panic", 0, "chaos: probability a model call panics (recovered by the loop)")
-	faultSlow := flag.Float64("fault-slow", 0, "chaos: probability a model call is slowed by -fault-latency")
-	faultLatency := flag.Duration("fault-latency", 2*time.Millisecond, "chaos: added latency per -fault-slow hit")
-	faultSeed := flag.Int64("fault-seed", 1, "chaos: seed for the deterministic fault and backoff-jitter draws")
+	opts := cliconf.Default()
+	opts.Bind(flag.CommandLine)
+	opts.BindBeam(flag.CommandLine)
 	flag.Parse()
 
-	faults := faultinject.Config{
-		Seed:      *faultSeed,
-		ErrorRate: *faultRate, HangRate: *faultHang,
-		PanicRate: *faultPanic, LatencyRate: *faultSlow, Latency: *faultLatency,
-	}
-	if *retries > 0 || *breaker > 0 || faults.Enabled() {
-		reliability = &resilience.Policy{
-			Retry:     resilience.Retry{MaxAttempts: *retries + 1, Seed: *faultSeed},
-			Breaker:   resilience.BreakerConfig{Threshold: *breaker},
-			Collector: &resilience.Collector{},
-		}
-	}
+	built := opts.Build()
+	reliability = built.Policy
 
 	bench := datasets.Spider()
 
@@ -135,15 +116,12 @@ func main() {
 	}
 
 	verifier := experiments.Verifier(experiments.DefaultLimits)
-	// The injector wraps the three model-call surfaces (it returns them
-	// unwrapped when no -fault-* flag is set); the raw verifier stays in
+	// Limits.Pipeline wraps the three model-call surfaces with the fault
+	// injector (a no-op when no -fault-* flag is set) and applies the
+	// parallelism knob and resilience policy; the raw verifier stays in
 	// scope for the diagnostic score display below, which reads fault-free.
-	inj := faultinject.New(faults)
-	pipeline := core.NewPipeline(inj.WrapModel(nl2sql.MustByName(*modelName)), inj.WrapVerifier(verifier), bench.Name)
-	pipeline.Feedback = inj.WrapFeedback(pipeline.Feedback)
-	pipeline.BeamSize = *beam
-	pipeline.Parallelism = *parallel
-	pipeline.Resilience = reliability
+	pipeline := built.Limits.Pipeline(nl2sql.MustByName(*modelName), verifier, bench.Name, nil)
+	pipeline.BeamSize = opts.Beam
 
 	// SIGINT/SIGTERM cancel the context the whole loop below honors, so ^C
 	// aborts a translation (or a full -all sweep) cleanly mid-query.
@@ -151,15 +129,15 @@ func main() {
 	defer stop()
 
 	if *all {
-		sweep(ctx, pipeline, bench, *dbName, *modelName, *workers, *timeout)
+		sweep(ctx, pipeline, bench, *dbName, *modelName, opts.Workers, opts.Timeout)
 		exit(0)
 	}
 	db := bench.DB(found.DBName)
 
 	fmt.Printf("Question: %s\nDatabase: %s   Model: %s\n\n", found.Question, found.DBName, *modelName)
-	if *timeout > 0 {
+	if opts.Timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
 		defer cancel()
 	}
 	res, err := pipeline.Translate(ctx, *found, db)

@@ -7,12 +7,19 @@
 //
 //	explain -db flight_2 -sql "SELECT count(*) FROM flight AS T1 JOIN aircraft AS T2 ON T1.aid = T2.aid WHERE T2.name = 'Airbus A340-300'"
 //	explain -db world_1 -row 2 -sql "SELECT name FROM country WHERE continent = 'Europe'"
+//
+// SIGINT (^C) or SIGTERM aborts the run cleanly — execution, provenance
+// tracking and explanation all honor the cancellation — with exit code
+// 130.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"cyclesql/internal/datasets"
 	"cyclesql/internal/explain"
@@ -20,6 +27,17 @@ import (
 	"cyclesql/internal/sqleval"
 	"cyclesql/internal/sqlparse"
 )
+
+// fail prints err and exits: 130 when the run was interrupted, 1
+// otherwise.
+func fail(ctx context.Context, err error) {
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "interrupted")
+		os.Exit(130)
+	}
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
 
 func main() {
 	dbName := flag.String("db", "world_1", "database name")
@@ -45,18 +63,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	rel, err := sqleval.New(db).Exec(stmt)
+
+	// SIGINT/SIGTERM cancel the context; the executor's inner loops, the
+	// provenance tracker's rewritten queries and the explainer all honor
+	// it, so ^C aborts a pathological query instead of hanging the shell.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rel, err := sqleval.New(db).ExecContext(ctx, stmt)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(ctx, err)
 	}
 	fmt.Println("Result:")
 	fmt.Println(rel.String())
 
-	prov, err := provenance.Track(db, stmt, rel, *row)
+	prov, err := provenance.NewTracker(db).TrackContext(ctx, stmt, rel, *row)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(ctx, err)
 	}
 	if prov.Empty {
 		fmt.Println("Provenance: none (empty result; operation-level semantics only)")
@@ -73,8 +96,7 @@ func main() {
 	}
 	exp, err := e.FromProvenance(prov)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(ctx, err)
 	}
 	fmt.Println("Explanation:")
 	fmt.Println(" ", exp.Text)

@@ -29,7 +29,8 @@ func main() {
 	verifier := experiments.Verifier(experiments.Limits{MaxTrain: 200, TrainModels: []string{"resdsql-3b", "gpt-3.5-turbo"}})
 
 	// 3. Wrap any model with the feedback loop.
-	pipeline := core.NewPipeline(nl2sql.MustByName("resdsql-3b"), verifier, bench.Name)
+	pipeline := core.New(nl2sql.MustByName("resdsql-3b"),
+		core.WithVerifier(verifier), core.WithBenchmark(bench.Name))
 
 	res, err := pipeline.Translate(context.Background(), ex, db)
 	if err != nil {

@@ -26,7 +26,8 @@ func main() {
 	verifier := experiments.Verifier(experiments.Limits{MaxTrain: 300, TrainModels: []string{"resdsql-3b", "gpt-3.5-turbo", "chess"}})
 
 	for _, modelName := range []string{"gpt-3.5-turbo", "chess"} {
-		pipeline := core.NewPipeline(nl2sql.MustByName(modelName), verifier, science.Name)
+		pipeline := core.New(nl2sql.MustByName(modelName),
+			core.WithVerifier(verifier), core.WithBenchmark(science.Name))
 		pipeline.BeamSize = 5
 		baseOK, loopOK, n := 0, 0, 0
 		iters := 0

@@ -1,0 +1,104 @@
+package cliconf
+
+import (
+	"flag"
+	"testing"
+	"time"
+
+	"cyclesql/internal/experiments"
+)
+
+func parse(t *testing.T, bindAll bool, args ...string) Options {
+	t.Helper()
+	o := Default()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	o.Bind(fs)
+	if bindAll {
+		o.BindBeam(fs)
+		o.BindTraining(fs)
+	}
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestDefaultsMatchExperimentHarness(t *testing.T) {
+	b := parse(t, true).Build()
+	if b.Limits.MaxDev != experiments.DefaultLimits.MaxDev || b.Limits.MaxTrain != experiments.DefaultLimits.MaxTrain {
+		t.Fatalf("default caps drifted: %+v", b.Limits)
+	}
+	if b.Limits.Parallelism != 1 || b.Limits.Workers != 1 || b.Limits.ExampleTimeout != 0 {
+		t.Fatalf("default parallelism drifted: %+v", b.Limits)
+	}
+	if b.Policy != nil || b.Limits.Resilience != nil {
+		t.Fatal("no flags set must mean no resilience policy")
+	}
+	if b.Faults.Enabled() {
+		t.Fatal("no flags set must mean no chaos")
+	}
+}
+
+func TestFlagsFlowIntoLimits(t *testing.T) {
+	o := parse(t, true,
+		"-parallel", "4", "-workers", "8", "-timeout", "30s",
+		"-beam", "5", "-dev", "120", "-train", "200")
+	b := o.Build()
+	if o.Beam != 5 {
+		t.Fatalf("beam = %d", o.Beam)
+	}
+	if b.Limits.Parallelism != 4 || b.Limits.Workers != 8 || b.Limits.ExampleTimeout != 30*time.Second {
+		t.Fatalf("limits = %+v", b.Limits)
+	}
+	if b.Limits.MaxDev != 120 || b.Limits.MaxTrain != 200 {
+		t.Fatalf("caps = %+v", b.Limits)
+	}
+}
+
+func TestResilienceArmsExactlyWhenConfigured(t *testing.T) {
+	// Any of retries, breaker, or a chaos rate arms the policy; the
+	// policy pointer must be shared with Limits.Resilience so sweeps and
+	// exit summaries observe the same counters.
+	for _, args := range [][]string{
+		{"-retries", "4"},
+		{"-breaker", "3"},
+		{"-fault-rate", "0.2"},
+		{"-fault-hang", "0.05"},
+		{"-fault-panic", "0.05"},
+		{"-fault-slow", "0.1"},
+	} {
+		b := parse(t, false, args...).Build()
+		if b.Policy == nil {
+			t.Fatalf("%v must arm the policy", args)
+		}
+		if b.Limits.Resilience != b.Policy {
+			t.Fatalf("%v: policy pointer not shared with limits", args)
+		}
+	}
+	b := parse(t, false, "-retries", "4", "-fault-seed", "7").Build()
+	if got := b.Policy.Retry.MaxAttempts; got != 5 {
+		t.Fatalf("retries 4 must mean 5 attempts, got %d", got)
+	}
+	if b.Policy.Retry.Seed != 7 || b.Faults.Seed != 7 {
+		t.Fatal("fault seed must drive both jitter and chaos draws")
+	}
+	if b.Policy.Collector == nil {
+		t.Fatal("armed policy must carry a collector for the exit summary")
+	}
+}
+
+func TestChaosConfigRoundTrip(t *testing.T) {
+	b := parse(t, false,
+		"-fault-rate", "0.2", "-fault-hang", "0.05", "-fault-panic", "0.01",
+		"-fault-slow", "0.1", "-fault-latency", "200us", "-fault-seed", "7").Build()
+	f := b.Faults
+	if f.ErrorRate != 0.2 || f.HangRate != 0.05 || f.PanicRate != 0.01 || f.LatencyRate != 0.1 {
+		t.Fatalf("rates = %+v", f)
+	}
+	if f.Latency != 200*time.Microsecond || f.Seed != 7 {
+		t.Fatalf("latency/seed = %+v", f)
+	}
+	if b.Limits.Faults != f {
+		t.Fatal("faults must be folded into the limits too")
+	}
+}

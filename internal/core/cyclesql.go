@@ -222,15 +222,12 @@ func (p *Pipeline) executor(db *storage.Database) *sqleval.Executor {
 // NewPipeline returns a pipeline with the paper's inference settings:
 // beam size 8 for Seq2seq-style models (callers lower it to 5 for
 // LLM-style models, matching the paper's API parameter).
+//
+// Deprecated: use New with functional options — New(model,
+// WithVerifier(verifier), WithBenchmark(benchmark)) is the equivalent
+// call, and the options compose where the positional list cannot grow.
 func NewPipeline(model nl2sql.Model, verifier nli.Verifier, benchmark string) *Pipeline {
-	return &Pipeline{
-		Model:     model,
-		Verifier:  verifier,
-		Feedback:  NewDataGrounded(),
-		BeamSize:  8,
-		Benchmark: benchmark,
-		execs:     &executorCache{limit: maxCachedPerDB},
-	}
+	return New(model, WithVerifier(verifier), WithBenchmark(benchmark))
 }
 
 // Translate runs the feedback loop for one example. Cancelling ctx aborts

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"cyclesql/internal/datasets"
+	"cyclesql/internal/nl2sql"
+	"cyclesql/internal/nli"
+	"cyclesql/internal/resilience"
+)
+
+func TestNewDefaultsMatchPaperSettings(t *testing.T) {
+	model := nl2sql.MustByName("resdsql-3b")
+	p := New(model)
+	if p.BeamSize != 8 {
+		t.Fatalf("default beam = %d, want 8", p.BeamSize)
+	}
+	if p.Parallelism != 0 || p.Resilience != nil {
+		t.Fatal("defaults must be the sequential, policy-free loop")
+	}
+	if p.Feedback == nil || p.Feedback.Name() != "cyclesql" {
+		t.Fatal("default feedback must be the data-grounded explainer")
+	}
+	if p.execs == nil {
+		t.Fatal("New must arm the warm per-database executor cache")
+	}
+}
+
+func TestOptionsApply(t *testing.T) {
+	model := nl2sql.MustByName("resdsql-3b")
+	pol := &resilience.Policy{Retry: resilience.Retry{MaxAttempts: 3}}
+	v := nli.FewShotLLM{}
+	p := New(model,
+		WithVerifier(v),
+		WithBenchmark("spider"),
+		WithBeamSize(5),
+		WithParallelism(4),
+		WithResilience(pol),
+		WithFeedback(SQL2NLFeedback{}),
+	)
+	if p.Verifier != v || p.Benchmark != "spider" || p.BeamSize != 5 || p.Parallelism != 4 || p.Resilience != pol {
+		t.Fatalf("options not applied: %+v", p)
+	}
+	if p.Feedback.Name() != "sql2nl" {
+		t.Fatalf("feedback option not applied: %s", p.Feedback.Name())
+	}
+	// Guard rails: a non-positive beam keeps the default, a nil feedback
+	// restores it.
+	p = New(model, WithBeamSize(0), WithFeedback(nil))
+	if p.BeamSize != 8 || p.Feedback.Name() != "cyclesql" {
+		t.Fatalf("guard rails failed: beam=%d feedback=%s", p.BeamSize, p.Feedback.Name())
+	}
+}
+
+// TestNewPipelineWrapperEquivalence locks the compatibility contract: the
+// deprecated positional constructor is exactly New with the verifier and
+// benchmark options, down to the translation it produces.
+func TestNewPipelineWrapperEquivalence(t *testing.T) {
+	bench := datasets.Spider()
+	ex := bench.Dev[0]
+	model := nl2sql.MustByName("resdsql-3b")
+	accept := nli.Func{Label: "accept", Fn: func(string, nli.Premise) bool { return true }}
+
+	old := NewPipeline(model, accept, bench.Name)
+	opt := New(model, WithVerifier(accept), WithBenchmark(bench.Name))
+	if old.BeamSize != opt.BeamSize || old.Benchmark != opt.Benchmark || old.Parallelism != opt.Parallelism {
+		t.Fatal("wrapper and options constructor disagree on configuration")
+	}
+	db := bench.DB(ex.DBName)
+	r1, err1 := old.Translate(context.Background(), ex, db)
+	r2, err2 := opt.Translate(context.Background(), ex, db)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("translate errors: %v / %v", err1, err2)
+	}
+	if r1.FinalSQL != r2.FinalSQL || r1.Verified != r2.Verified || r1.Iterations != r2.Iterations {
+		t.Fatalf("wrapper parity broken: %q/%v/%d vs %q/%v/%d",
+			r1.FinalSQL, r1.Verified, r1.Iterations, r2.FinalSQL, r2.Verified, r2.Iterations)
+	}
+}

@@ -19,7 +19,8 @@ import (
 func sweepResults(t *testing.T, dev []datasets.Example, workers int) []*core.Result {
 	t.Helper()
 	bench := datasets.Spider()
-	p := core.NewPipeline(nl2sql.MustByName("resdsql-3b"), Verifier(tinyLimits), bench.Name)
+	p := core.New(nl2sql.MustByName("resdsql-3b"),
+		core.WithVerifier(Verifier(tinyLimits)), core.WithBenchmark(bench.Name))
 	// Candidate-level parallelism composes with example-level workers;
 	// keeping it on in every sweep exercises the composition the -workers
 	// and -parallel flags expose together.

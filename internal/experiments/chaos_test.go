@@ -52,7 +52,7 @@ func chaosPolicy() *resilience.Policy {
 func chaosSweep(t *testing.T, dev []datasets.Example, lim Limits) []*core.Result {
 	t.Helper()
 	bench := datasets.Spider()
-	p := lim.pipeline(nl2sql.MustByName("resdsql-3b"), Verifier(tinyLimits), bench.Name, nil)
+	p := lim.Pipeline(nl2sql.MustByName("resdsql-3b"), Verifier(tinyLimits), bench.Name, nil)
 	results := make([]*core.Result, len(dev))
 	errs := lim.batch().Run(context.Background(), len(dev), func(ctx context.Context, i int) error {
 		res, err := p.Translate(ctx, dev[i], bench.DB(dev[i].DBName))

@@ -114,7 +114,7 @@ func Table2(ctx context.Context, lim Limits) (*Table, error) {
 	}
 	for _, modelName := range Table1Models {
 		model := nl2sql.MustByName(modelName)
-		p := lim.pipeline(model, verifier, bench.Name, nil)
+		p := lim.Pipeline(model, verifier, bench.Name, nil)
 		if isLLM(modelName) {
 			p.BeamSize = 5
 		}
@@ -250,8 +250,8 @@ func Fig9(ctx context.Context, lim Limits) (*Table, error) {
 			}
 			model := nl2sql.MustByName(modelName)
 			dev := devSlice(bench, lim)
-			pc := lim.pipeline(model, cycleVerifier, bench.Name, nil)
-			psq := lim.pipeline(model, sql2nlVerifier, bench.Name, core.SQL2NLFeedback{})
+			pc := lim.Pipeline(model, cycleVerifier, bench.Name, nil)
+			psq := lim.Pipeline(model, sql2nlVerifier, bench.Name, core.SQL2NLFeedback{})
 			if isLLM(modelName) {
 				pc.BeamSize, psq.BeamSize = 5, 5
 			}

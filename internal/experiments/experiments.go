@@ -83,19 +83,24 @@ type Limits struct {
 	Faults faultinject.Config
 }
 
-// pipeline builds one driver pipeline under the limits: the fault
-// injector wraps the model, verifier and feedback (when faults are
-// enabled), and the parallelism knob and resilience policy apply
-// uniformly. A nil fb means the default data-grounded feedback.
-func (l Limits) pipeline(model nl2sql.Model, verifier nli.Verifier, benchmark string, fb core.Feedback) *core.Pipeline {
+// Pipeline builds one loop pipeline under the limits: the fault injector
+// wraps the model, verifier and feedback (when faults are enabled), and
+// the parallelism knob and resilience policy apply uniformly. A nil fb
+// means the default data-grounded feedback. The experiment drivers, the
+// CLIs and the HTTP serving layer all assemble their pipelines here, so
+// the three surfaces cannot drift.
+func (l Limits) Pipeline(model nl2sql.Model, verifier nli.Verifier, benchmark string, fb core.Feedback) *core.Pipeline {
 	inj := faultinject.New(l.Faults)
-	p := core.NewPipeline(inj.WrapModel(model), inj.WrapVerifier(verifier), benchmark)
+	p := core.New(inj.WrapModel(model),
+		core.WithVerifier(inj.WrapVerifier(verifier)),
+		core.WithBenchmark(benchmark),
+		core.WithParallelism(l.Parallelism),
+		core.WithResilience(l.Resilience),
+	)
 	if fb == nil {
 		fb = p.Feedback
 	}
 	p.Feedback = inj.WrapFeedback(fb)
-	p.Parallelism = l.Parallelism
-	p.Resilience = l.Resilience
 	return p
 }
 
@@ -206,7 +211,7 @@ type exampleScores struct {
 // fold in dev order, so the scores are identical at every worker count.
 func EvaluateModel(ctx context.Context, b *datasets.Benchmark, modelName string, verifier nli.Verifier, lim Limits) (PairScores, error) {
 	model := nl2sql.MustByName(modelName)
-	p := lim.pipeline(model, verifier, b.Name, nil)
+	p := lim.Pipeline(model, verifier, b.Name, nil)
 	if isLLM(modelName) {
 		p.BeamSize = 5 // the paper's chat-completion n parameter
 	}

@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+
+	"cyclesql/internal/resilience"
+)
+
+// latencyBucketMillis are the upper bounds of the translate-latency
+// histogram, in milliseconds; observations above the last bound land in
+// the overflow bucket. The spread covers the warm in-process loop
+// (sub-millisecond) through simulated-inference latencies and queued
+// requests near the deadline.
+var latencyBucketMillis = [numLatencyBuckets]float64{1, 5, 25, 100, 500, 2500}
+
+const numLatencyBuckets = 6
+
+// Metrics is the server's counter set, exposed as JSON on GET /metrics.
+// All fields are atomics so the hot path never takes a lock.
+type Metrics struct {
+	start time.Time
+
+	// Terminal request outcomes, by class. total counts every request the
+	// mux routed to a handler, including health and metrics probes' own
+	// translate siblings — i.e. only translate requests.
+	total         atomic.Int64
+	ok            atomic.Int64
+	badRequest    atomic.Int64
+	unknownTenant atomic.Int64
+	shed          atomic.Int64 // admission control said 429
+	deadline      atomic.Int64 // request budget expired (504)
+	canceled      atomic.Int64 // client went away mid-flight
+	internal      atomic.Int64
+
+	// Gauges: requests holding an execution slot / waiting for one.
+	inflight atomic.Int64
+	queued   atomic.Int64
+
+	// Admitted-request latency histogram (see latencyBucketMillis) plus
+	// overflow and the high-water mark.
+	latency     [numLatencyBuckets]atomic.Int64
+	latencyOver atomic.Int64
+	latencyMax  atomic.Int64 // microseconds
+
+	// Snapshot pin accounting: pins counts every request that resolved a
+	// tenant snapshot, refreshes the subset that had to re-pin because the
+	// live store's epoch had moved. hit rate = 1 - refreshes/pins.
+	snapPins      atomic.Int64
+	snapRefreshes atomic.Int64
+
+	// Warm-pipeline cache accounting per (model, beam) lookup.
+	pipeHits   atomic.Int64
+	pipeMisses atomic.Int64
+}
+
+// observe records one admitted request's wall-clock latency.
+func (m *Metrics) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	placed := false
+	for i, le := range latencyBucketMillis {
+		if ms <= le {
+			m.latency[i].Add(1)
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		m.latencyOver.Add(1)
+	}
+	us := d.Microseconds()
+	for {
+		cur := m.latencyMax.Load()
+		if us <= cur || m.latencyMax.CompareAndSwap(cur, us) {
+			return
+		}
+	}
+}
+
+// LatencyBucket is one histogram bucket: the count of admitted requests
+// that completed within LEMillis milliseconds (non-cumulative).
+type LatencyBucket struct {
+	LEMillis float64 `json:"le_ms"`
+	Count    int64   `json:"count"`
+}
+
+// MetricsView is the GET /metrics response body.
+type MetricsView struct {
+	UptimeMillis int64 `json:"uptime_ms"`
+	Requests     struct {
+		Total            int64 `json:"total"`
+		OK               int64 `json:"ok"`
+		BadRequest       int64 `json:"bad_request"`
+		UnknownTenant    int64 `json:"unknown_tenant"`
+		Shed             int64 `json:"shed"`
+		DeadlineExceeded int64 `json:"deadline_exceeded"`
+		Canceled         int64 `json:"canceled"`
+		Internal         int64 `json:"internal"`
+	} `json:"requests"`
+	Inflight int64 `json:"inflight"`
+	Queued   int64 `json:"queued"`
+	Latency  struct {
+		Buckets   []LatencyBucket `json:"buckets"`
+		Overflow  int64           `json:"overflow"`
+		MaxMicros int64           `json:"max_us"`
+	} `json:"latency"`
+	Snapshots struct {
+		Pins      int64   `json:"pins"`
+		Refreshes int64   `json:"refreshes"`
+		HitRate   float64 `json:"hit_rate"`
+	} `json:"snapshots"`
+	Pipelines struct {
+		Hits    int64   `json:"hits"`
+		Misses  int64   `json:"misses"`
+		HitRate float64 `json:"hit_rate"`
+	} `json:"pipelines"`
+	Resilience struct {
+		Attempts        int64 `json:"attempts"`
+		Retries         int64 `json:"retries"`
+		BreakerTrips    int64 `json:"breaker_trips"`
+		Degraded        int64 `json:"degraded"`
+		PanicsRecovered int64 `json:"panics_recovered"`
+	} `json:"resilience"`
+}
+
+// view snapshots the counters into the JSON shape, folding in the
+// resilience policy's stats (all zero when no policy is armed).
+func (m *Metrics) view(stats resilience.Stats) MetricsView {
+	var v MetricsView
+	v.UptimeMillis = time.Since(m.start).Milliseconds()
+	v.Requests.Total = m.total.Load()
+	v.Requests.OK = m.ok.Load()
+	v.Requests.BadRequest = m.badRequest.Load()
+	v.Requests.UnknownTenant = m.unknownTenant.Load()
+	v.Requests.Shed = m.shed.Load()
+	v.Requests.DeadlineExceeded = m.deadline.Load()
+	v.Requests.Canceled = m.canceled.Load()
+	v.Requests.Internal = m.internal.Load()
+	v.Inflight = m.inflight.Load()
+	v.Queued = m.queued.Load()
+	v.Latency.Buckets = make([]LatencyBucket, len(latencyBucketMillis))
+	for i, le := range latencyBucketMillis {
+		v.Latency.Buckets[i] = LatencyBucket{LEMillis: le, Count: m.latency[i].Load()}
+	}
+	v.Latency.Overflow = m.latencyOver.Load()
+	v.Latency.MaxMicros = m.latencyMax.Load()
+	v.Snapshots.Pins = m.snapPins.Load()
+	v.Snapshots.Refreshes = m.snapRefreshes.Load()
+	if v.Snapshots.Pins > 0 {
+		v.Snapshots.HitRate = 1 - float64(v.Snapshots.Refreshes)/float64(v.Snapshots.Pins)
+	}
+	v.Pipelines.Hits = m.pipeHits.Load()
+	v.Pipelines.Misses = m.pipeMisses.Load()
+	if lookups := v.Pipelines.Hits + v.Pipelines.Misses; lookups > 0 {
+		v.Pipelines.HitRate = float64(v.Pipelines.Hits) / float64(lookups)
+	}
+	v.Resilience.Attempts = stats.Attempts
+	v.Resilience.Retries = stats.Retries
+	v.Resilience.BreakerTrips = stats.BreakerTrips
+	v.Resilience.Degraded = stats.Degraded
+	v.Resilience.PanicsRecovered = stats.PanicsRecovered
+	return v
+}

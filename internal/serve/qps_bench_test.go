@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cyclesql/internal/nli"
+)
+
+// verifyLatency is the simulated verifier inference cost for the QPS
+// benchmarks: high enough that capacity is admission-bound (not
+// loop-overhead-bound), low enough that a bench run stays short.
+const verifyLatency = 2 * time.Millisecond
+
+// BenchmarkServeSustainedQPS measures sustained throughput and shed rate
+// at several admission limits under 2x overload: capacity is MaxInflight
+// running + MaxQueue (=MaxInflight) queued, and twice that many clients
+// hammer the server with no think time. Reported per sub-benchmark:
+//
+//	qps       — successful (200) translations per second
+//	shed/req  — fraction of requests answered 429
+//
+// BENCH_PR7.json records the protocol and reference numbers.
+func BenchmarkServeSustainedQPS(b *testing.B) {
+	for _, inflight := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("inflight=%d", inflight), func(b *testing.B) {
+			bench := isolatedBench(b, "world_1")
+			srv := New(Config{
+				Bench:       bench,
+				Verifier:    nli.Latency{V: accept, D: verifyLatency},
+				MaxInflight: inflight,
+				MaxQueue:    inflight,
+			})
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+			body := fmt.Sprintf(`{"question": %q}`, bench.Dev[0].Question)
+			clients := 4 * inflight // 2x the inflight+queue capacity
+
+			var issued atomic.Int64
+			var ok, shed, other atomic.Int64
+			b.ResetTimer()
+			start := time.Now()
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					client := &http.Client{}
+					for issued.Add(1) <= int64(b.N) {
+						resp, err := client.Post(ts.URL+"/v1/world_1/translate", "application/json", strings.NewReader(body))
+						if err != nil {
+							other.Add(1)
+							continue
+						}
+						io.Copy(io.Discard, resp.Body) //nolint:errcheck
+						resp.Body.Close()
+						switch resp.StatusCode {
+						case http.StatusOK:
+							ok.Add(1)
+						case http.StatusTooManyRequests:
+							shed.Add(1)
+						default:
+							other.Add(1)
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			b.StopTimer()
+			if other.Load() > 0 {
+				b.Fatalf("%d requests answered neither 200 nor 429", other.Load())
+			}
+			total := ok.Load() + shed.Load()
+			b.ReportMetric(float64(ok.Load())/elapsed.Seconds(), "qps")
+			b.ReportMetric(float64(shed.Load())/float64(total), "shed/req")
+		})
+	}
+}
+
+// BenchmarkServeTranslateLatency is the single-client request cost
+// through the full HTTP stack (admission, snapshot pin, warm pipeline,
+// JSON) with a free verifier — the transport overhead floor.
+func BenchmarkServeTranslateLatency(b *testing.B) {
+	bench := isolatedBench(b, "world_1")
+	srv := New(Config{Bench: bench, Verifier: accept})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	body := fmt.Sprintf(`{"question": %q}`, bench.Dev[0].Question)
+	client := &http.Client{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(ts.URL+"/v1/world_1/translate", "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"cyclesql/internal/core"
+	"cyclesql/internal/datasets"
+	"cyclesql/internal/nl2sql"
+	"cyclesql/internal/storage"
+)
+
+// maxWarmPipelines bounds the per-tenant warm pipeline cache; at the
+// limit an arbitrary entry is evicted, mirroring core's bounded executor
+// cache. The keyspace is (model, beam), so the bound is generous for the
+// five simulated models.
+const maxWarmPipelines = 8
+
+// tenant is the per-tenant serving state: the live store, the current
+// pinned snapshot, the tenant's question book (the simulated models
+// translate benchmark questions), and warm pipelines per (model, beam).
+type tenant struct {
+	name string
+	live *storage.Database
+	// examples maps the lower-cased question text to its benchmark
+	// example; built once at startup, read-only afterwards.
+	examples map[string]*datasets.Example
+
+	// snap is the tenant's current snapshot; refreshed under mu when the
+	// live store's epoch has moved past it. Reads are lock-free.
+	mu   sync.Mutex
+	snap atomic.Pointer[storage.Snapshot]
+
+	pmu       sync.Mutex
+	pipelines map[pipeKey]*core.Pipeline
+}
+
+type pipeKey struct {
+	model string
+	beam  int
+}
+
+// newTenant indexes one benchmark database and its dev questions.
+func newTenant(name string, db *storage.Database, dev []datasets.Example) *tenant {
+	t := &tenant{
+		name:      name,
+		live:      db,
+		examples:  make(map[string]*datasets.Example),
+		pipelines: make(map[pipeKey]*core.Pipeline, maxWarmPipelines),
+	}
+	for i := range dev {
+		if dev[i].DBName == name {
+			t.examples[strings.ToLower(dev[i].Question)] = &dev[i]
+		}
+	}
+	return t
+}
+
+// example resolves a question against the tenant's book, or nil.
+func (t *tenant) example(question string) *datasets.Example {
+	return t.examples[strings.ToLower(strings.TrimSpace(question))]
+}
+
+// snapshot returns the tenant's current snapshot, re-pinning only when
+// the live store's epoch has moved (a write happened since the last
+// pin). The fast path is two atomic loads plus the store's epoch read;
+// the refresh double-checks under the tenant lock so a burst of requests
+// after one write pays for a single O(tables) pin.
+func (t *tenant) snapshot(m *Metrics) *storage.Snapshot {
+	m.snapPins.Add(1)
+	if s := t.snap.Load(); s != nil && s.Epoch() == t.live.Epoch() {
+		return s
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s := t.snap.Load(); s != nil && s.Epoch() == t.live.Epoch() {
+		return s
+	}
+	s := t.live.Snapshot()
+	t.snap.Store(s)
+	m.snapRefreshes.Add(1)
+	return s
+}
+
+// pipeline returns the tenant's warm pipeline for (model, beam),
+// assembling one through experiments.Limits.Pipeline — the same path the
+// CLIs and drivers use — on first sight. Pipelines are safe for
+// concurrent Translate calls, so one instance serves all in-flight
+// requests for the key.
+func (t *tenant) pipeline(s *Server, modelName string, beam int) (*core.Pipeline, error) {
+	key := pipeKey{model: modelName, beam: beam}
+	t.pmu.Lock()
+	defer t.pmu.Unlock()
+	if p, ok := t.pipelines[key]; ok {
+		s.metrics.pipeHits.Add(1)
+		return p, nil
+	}
+	model, err := nl2sql.ByName(modelName)
+	if err != nil {
+		return nil, err
+	}
+	s.metrics.pipeMisses.Add(1)
+	if len(t.pipelines) >= maxWarmPipelines {
+		for k := range t.pipelines {
+			delete(t.pipelines, k)
+			break
+		}
+	}
+	p := s.cfg.Limits.Pipeline(model, s.cfg.Verifier, s.cfg.Bench.Name, nil)
+	p.BeamSize = beam
+	t.pipelines[key] = p
+	return p, nil
+}

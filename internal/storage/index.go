@@ -132,30 +132,7 @@ func (db *Database) HasIndex(table string, col int) bool {
 	return ix != nil && ix.rows == len(rel.Rows)
 }
 
-// maintainIndexes folds one inserted row into the table's built indexes of
-// every kind. Insert already requires exclusion from readers; the lock here
-// orders the map access against concurrent lazy builds on other tables.
-func (db *Database) maintainIndexes(table string, row sqltypes.Row, pos int) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	name := lowerName(table)
-	for _, ix := range db.indexes[name] {
-		ix.add(row, pos)
-	}
-	for _, ix := range db.sorted[name] {
-		ix.add(row, pos)
-	}
-	for _, ix := range db.composite[name] {
-		ix.add(row, pos)
-	}
-}
-
-// invalidateIndexes drops every built index of every kind; the next probe
-// rebuilds.
-func (db *Database) invalidateIndexes() {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.indexes = nil
-	db.sorted = nil
-	db.composite = nil
-}
+// Index maintenance on Insert and wholesale invalidation on Mutate live
+// inline in those writers (storage.go): both must happen in the same
+// critical section as the copy-on-write table swap so a Snapshot taken at
+// any instant sees a consistent store.

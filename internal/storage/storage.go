@@ -8,13 +8,17 @@
 // Concurrency: a Database is safe for concurrent readers — queries may
 // scan tables and build or probe the lazy secondary indexes from any
 // number of goroutines (index.go guards the lazy builds). Writers
-// (Insert, MustInsert, Mutate) still require exclusion from readers and
-// from each other: they mutate relation contents in place, and a query
-// racing a row append would read a torn table. Both parallelism levels
-// above this package — concurrent candidate verification inside one
-// core.Pipeline.Translate and the cross-example batch sweep in
-// internal/experiments — lean on the reader half of this contract: they
-// only ever read benchmark databases built before the sweep starts.
+// (Insert, MustInsert, Mutate) still require exclusion from readers of
+// the live database and from each other: they mutate relation contents
+// in place, and a query racing a row append would read a torn table.
+// Both parallelism levels above this package — concurrent candidate
+// verification inside one core.Pipeline.Translate and the cross-example
+// batch sweep in internal/experiments — lean on the reader half of this
+// contract: they only ever read benchmark databases built before the
+// sweep starts. Readers that must overlap writers — the HTTP serving
+// layer — pin a copy-on-write Snapshot instead (snapshot.go): an O(tables)
+// immutable view that writers never touch, because the first write to a
+// pinned table swaps in a copy rather than mutating the shared relation.
 // Clones are fully isolated (rows, and each clone builds its own
 // indexes), so the test-suite metric's perturbed copies can be read or
 // even mutated without affecting the original.
@@ -47,6 +51,18 @@ type Database struct {
 	indexes   map[string]map[int]*ColumnIndex
 	sorted    map[string]map[int]*SortedIndex
 	composite map[string]map[string]*CompositeIndex
+	// epoch advances on every Snapshot and every write; snapshot holders
+	// compare it against their pinned epoch to detect staleness. Guarded
+	// by mu.
+	epoch uint64
+	// shared marks tables pinned by at least one snapshot since their
+	// last copy: the next write to a shared table copies it first
+	// (snapshot.go). Guarded by mu.
+	shared map[string]bool
+	// frozen marks snapshot views: immutable by contract, so writers
+	// reject. Set once before the view is published, read without the
+	// lock.
+	frozen bool
 }
 
 // lowerName folds a table name to the map key every index store uses.
@@ -72,12 +88,18 @@ func (db *Database) Table(name string) *sqltypes.Relation {
 
 // Insert appends a row to a table after checking arity and coercing values
 // toward the declared column affinity (integers widen to REAL columns,
-// numerics stringify into TEXT columns).
+// numerics stringify into TEXT columns). If the table is pinned by a
+// snapshot, the append goes to a copy-on-write replacement and the pinned
+// view is untouched; otherwise the row appends in place and every built
+// index is maintained, exactly as before snapshots existed. Inserting
+// into a snapshot view is an error.
 func (db *Database) Insert(table string, row sqltypes.Row) error {
 	t := db.Schema.Table(table)
-	rel := db.Table(table)
-	if t == nil || rel == nil {
+	if t == nil {
 		return fmt.Errorf("storage: unknown table %q", table)
+	}
+	if db.frozen {
+		return fmt.Errorf("storage: cannot insert into a snapshot view of table %q", table)
 	}
 	if len(row) != len(t.Columns) {
 		return fmt.Errorf("storage: table %s expects %d values, got %d", t.Name, len(t.Columns), len(row))
@@ -86,8 +108,29 @@ func (db *Database) Insert(table string, row sqltypes.Row) error {
 	for i, v := range row {
 		coerced[i] = coerce(v, t.Columns[i].Type)
 	}
+	name := lowerName(t.Name)
+	// The whole mutation runs under the lock so a Snapshot taken at any
+	// instant sees either the row fully applied or not at all — and so
+	// concurrent writers serialize instead of tearing each other's
+	// copy-on-write swaps.
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rel := db.writeTableLocked(name, false)
+	if rel == nil {
+		return fmt.Errorf("storage: unknown table %q", table)
+	}
 	rel.Append(coerced)
-	db.maintainIndexes(t.Name, coerced, len(rel.Rows)-1)
+	db.epoch++
+	pos := len(rel.Rows) - 1
+	for _, ix := range db.indexes[name] {
+		ix.add(coerced, pos)
+	}
+	for _, ix := range db.sorted[name] {
+		ix.add(coerced, pos)
+	}
+	for _, ix := range db.composite[name] {
+		ix.add(coerced, pos)
+	}
 	return nil
 }
 
@@ -140,7 +183,10 @@ func (db *Database) TotalRows() int {
 // Clone deep-copies the database contents (the schema is shared; schemata
 // are immutable after construction). The clone starts with no indexes:
 // clones exist to be perturbed, so sharing buckets with the original would
-// serve stale probes after the first Mutate.
+// serve stale probes after the first Mutate. Cloning a snapshot view
+// yields an ordinary mutable database — the test-suite distillation
+// derives its perturbed variants from pinned snapshots this way. Pinning
+// without the row copy is Snapshot (snapshot.go).
 func (db *Database) Clone() *Database {
 	out := &Database{Schema: db.Schema, tables: make(map[string]*sqltypes.Relation, len(db.tables))}
 	for k, rel := range db.tables {
@@ -152,10 +198,20 @@ func (db *Database) Clone() *Database {
 // Mutate applies fn to every stored row of every table. The test-suite
 // distillation uses it to perturb copies of the database. It drops every
 // built index first — fn rewrites values in place, so any probe served
-// from a pre-mutation bucket would read stale rows.
+// from a pre-mutation bucket would read stale rows. Tables pinned by a
+// snapshot are deep-copied before fn touches them (fn rewrites row
+// contents, so even row-header sharing would tear the pinned view).
+// Mutating a snapshot view panics: views are immutable by contract.
 func (db *Database) Mutate(fn func(table string, row sqltypes.Row)) {
-	db.invalidateIndexes()
-	for name, rel := range db.tables {
+	if db.frozen {
+		panic("storage: cannot mutate a snapshot view")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.indexes, db.sorted, db.composite = nil, nil, nil
+	db.epoch++
+	for name := range db.tables {
+		rel := db.writeTableLocked(name, true)
 		for _, row := range rel.Rows {
 			fn(name, row)
 		}
