@@ -100,7 +100,7 @@ func BenchmarkTable3Verifiers(b *testing.B) {
 // held-out pair accuracy for both.
 func BenchmarkAblationFocalLoss(b *testing.B) {
 	bench := datasets.Spider()
-	pairs := core.BuildTrainingPairs(bench, core.TrainDataConfig{
+	pairs := core.BuildTrainingPairs(context.Background(), bench, core.TrainDataConfig{
 		Models: benchLimits.TrainModels[:3], MaxExamples: 300, Seed: 1,
 	})
 	cut := len(pairs) * 85 / 100

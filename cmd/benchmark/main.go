@@ -74,6 +74,10 @@ func main() {
 		}
 		return
 	}
+	if err := opts.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	built := opts.Build()
 	lim := built.Limits
 	reliability = built.Policy

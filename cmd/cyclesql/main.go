@@ -73,6 +73,10 @@ func main() {
 	opts.BindBeam(flag.CommandLine)
 	flag.Parse()
 
+	if err := opts.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	built := opts.Build()
 	reliability = built.Policy
 

@@ -60,6 +60,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if err := opts.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	built := opts.Build()
 
 	fmt.Fprintln(os.Stderr, "training verifier...")

@@ -52,7 +52,7 @@ func main() {
 		loss = nn.CrossEntropy{WPos: 2.7, WNeg: 1.0}
 	}
 	fmt.Printf("collecting premise-hypothesis pairs from %s train split...\n", bench.Name)
-	pairs := core.BuildTrainingPairs(bench, core.TrainDataConfig{MaxExamples: *maxTrain, Seed: 1})
+	pairs := core.BuildTrainingPairs(ctx, bench, core.TrainDataConfig{MaxExamples: *maxTrain, Seed: 1})
 	pos := 0
 	for _, p := range pairs {
 		if p.Label == 1 {

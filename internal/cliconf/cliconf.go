@@ -25,6 +25,7 @@ package cliconf
 
 import (
 	"flag"
+	"fmt"
 	"time"
 
 	"cyclesql/internal/experiments"
@@ -108,6 +109,52 @@ func (o *Options) BindBeam(fs *flag.FlagSet) {
 func (o *Options) BindTraining(fs *flag.FlagSet) {
 	fs.IntVar(&o.Dev, "dev", o.Dev, "max dev examples per benchmark (0 = all)")
 	fs.IntVar(&o.Train, "train", o.Train, "max train examples for verifier training (0 = all)")
+}
+
+// Validate rejects option combinations no binary can run: negative
+// counts and budgets, chaos probabilities outside [0,1], and slow-call
+// injection with no latency to inject. Binaries call it right after
+// flag.Parse so a bad invocation exits with usage help instead of
+// producing a sweep that silently does something else.
+func (o Options) Validate() error {
+	if o.Beam < 1 {
+		return fmt.Errorf("cliconf: -beam must be >= 1, got %d", o.Beam)
+	}
+	if o.Parallel < 0 || o.Workers < 0 {
+		return fmt.Errorf("cliconf: -parallel and -workers must be >= 0, got %d and %d", o.Parallel, o.Workers)
+	}
+	if o.Timeout < 0 {
+		return fmt.Errorf("cliconf: -timeout must be >= 0, got %v", o.Timeout)
+	}
+	if o.Dev < 0 || o.Train < 0 {
+		return fmt.Errorf("cliconf: -dev and -train must be >= 0 (0 = all), got %d and %d", o.Dev, o.Train)
+	}
+	if o.Retries < 0 {
+		return fmt.Errorf("cliconf: -retries must be >= 0, got %d", o.Retries)
+	}
+	if o.Breaker < 0 {
+		return fmt.Errorf("cliconf: -breaker must be >= 0, got %d", o.Breaker)
+	}
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"-fault-rate", o.FaultRate},
+		{"-fault-hang", o.FaultHang},
+		{"-fault-panic", o.FaultPanic},
+		{"-fault-slow", o.FaultSlow},
+	} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("cliconf: %s is a probability, must be in [0,1], got %g", r.name, r.v)
+		}
+	}
+	if o.FaultLatency < 0 {
+		return fmt.Errorf("cliconf: -fault-latency must be >= 0, got %v", o.FaultLatency)
+	}
+	if o.FaultSlow > 0 && o.FaultLatency == 0 {
+		return fmt.Errorf("cliconf: -fault-slow %g with -fault-latency 0 injects nothing; set a latency or drop -fault-slow", o.FaultSlow)
+	}
+	return nil
 }
 
 // Built is the assembled runtime configuration: everything a binary needs

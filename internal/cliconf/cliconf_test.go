@@ -2,6 +2,7 @@ package cliconf
 
 import (
 	"flag"
+	"strings"
 	"testing"
 	"time"
 
@@ -84,6 +85,84 @@ func TestResilienceArmsExactlyWhenConfigured(t *testing.T) {
 	}
 	if b.Policy.Collector == nil {
 		t.Fatal("armed policy must carry a collector for the exit summary")
+	}
+}
+
+func TestValidateRejectsBadCombos(t *testing.T) {
+	// Each case is a flag combination a binary must refuse at startup;
+	// frag anchors the error on the offending flag.
+	cases := []struct {
+		args []string
+		frag string
+	}{
+		{[]string{"-beam", "0"}, "-beam"},
+		{[]string{"-beam", "-3"}, "-beam"},
+		{[]string{"-parallel", "-1"}, "-parallel"},
+		{[]string{"-workers", "-2"}, "-workers"},
+		{[]string{"-timeout", "-5s"}, "-timeout"},
+		{[]string{"-dev", "-1"}, "-dev"},
+		{[]string{"-train", "-10"}, "-train"},
+		{[]string{"-retries", "-1"}, "-retries"},
+		{[]string{"-breaker", "-1"}, "-breaker"},
+		{[]string{"-fault-rate", "1.5"}, "-fault-rate"},
+		{[]string{"-fault-rate", "-0.1"}, "-fault-rate"},
+		{[]string{"-fault-hang", "2"}, "-fault-hang"},
+		{[]string{"-fault-panic", "-1"}, "-fault-panic"},
+		{[]string{"-fault-slow", "1.01"}, "-fault-slow"},
+		{[]string{"-fault-latency", "-1ms"}, "-fault-latency"},
+		{[]string{"-fault-slow", "0.5", "-fault-latency", "0"}, "-fault-slow"},
+	}
+	for _, c := range cases {
+		o := parse(t, true, c.args...)
+		err := o.Validate()
+		if err == nil {
+			t.Fatalf("%v must fail validation", c.args)
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Fatalf("%v: error %q does not name %s", c.args, err, c.frag)
+		}
+	}
+}
+
+func TestValidateAcceptsWorkingCombos(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"-parallel", "0", "-workers", "0"}, // zero means sequential, not invalid
+		{"-dev", "0", "-train", "0"},        // zero caps mean the full split
+		{"-fault-rate", "1", "-fault-hang", "0", "-retries", "0"},
+		{"-fault-slow", "0.5", "-fault-latency", "1ms"},
+		{"-retries", "6", "-breaker", "2", "-timeout", "45s", "-beam", "5"},
+	} {
+		if err := parse(t, true, args...).Validate(); err != nil {
+			t.Fatalf("%v must validate: %v", args, err)
+		}
+	}
+}
+
+func TestResilienceArmingEdgeCases(t *testing.T) {
+	// Zero-valued chaos rates must not arm the policy even when the
+	// latency/seed knobs are explicitly set: only rates make chaos real.
+	b := parse(t, false, "-fault-latency", "5ms", "-fault-seed", "42").Build()
+	if b.Policy != nil || b.Faults.Enabled() {
+		t.Fatal("latency/seed without any rate must stay unarmed")
+	}
+	// Retries 0 with a breaker still arms (breaker-only operation), and
+	// MaxAttempts 1 keeps single attempts.
+	b = parse(t, false, "-breaker", "2").Build()
+	if b.Policy == nil {
+		t.Fatal("breaker alone must arm the policy")
+	}
+	if got := b.Policy.Retry.MaxAttempts; got != 1 {
+		t.Fatalf("breaker-only policy must keep single attempts, got %d", got)
+	}
+	if got := b.Policy.Breaker.Threshold; got != 2 {
+		t.Fatalf("breaker threshold = %d", got)
+	}
+	// Chaos alone arms too: injected faults need the retry machinery to
+	// be survivable, even at MaxAttempts 1 the collector observes them.
+	b = parse(t, false, "-fault-rate", "0.3").Build()
+	if b.Policy == nil || b.Limits.Resilience != b.Policy {
+		t.Fatal("chaos alone must arm and share the policy")
 	}
 }
 

@@ -22,7 +22,7 @@ func sharedVerifier(t *testing.T) *nli.Trained {
 	t.Helper()
 	verifierOnce.Do(func() {
 		bench := datasets.Spider()
-		testVerifier = TrainVerifier(bench,
+		testVerifier = TrainVerifier(context.Background(), bench,
 			TrainDataConfig{Models: []string{"resdsql-3b", "gpt-3.5-turbo", "smbop", "picard-3b"}, MaxExamples: 400, Seed: 1},
 			nli.TrainConfig{Seed: 2, Epochs: 16},
 		)
@@ -32,7 +32,7 @@ func sharedVerifier(t *testing.T) *nli.Trained {
 
 func TestBuildTrainingPairsProtocol(t *testing.T) {
 	bench := datasets.Spider()
-	pairs := BuildTrainingPairs(bench, TrainDataConfig{Models: []string{"gpt-3.5-turbo"}, MaxExamples: 40, Seed: 3})
+	pairs := BuildTrainingPairs(context.Background(), bench, TrainDataConfig{Models: []string{"gpt-3.5-turbo"}, MaxExamples: 40, Seed: 3})
 	if len(pairs) < 40 {
 		t.Fatalf("too few pairs: %d", len(pairs))
 	}
@@ -58,7 +58,7 @@ func TestTrainedVerifierDiscriminates(t *testing.T) {
 	// Held-out pairs from a later window of the train split.
 	cfg := TrainDataConfig{Models: []string{"resdsql-large"}, MaxExamples: 0, Seed: 9}
 	heldBench := &datasets.Benchmark{Name: bench.Name, Databases: bench.Databases, Train: bench.Train[300:380]}
-	pairs := BuildTrainingPairs(heldBench, cfg)
+	pairs := BuildTrainingPairs(context.Background(), heldBench, cfg)
 	acc := nli.Accuracy(v, pairs)
 	if acc < 0.70 {
 		t.Fatalf("verifier held-out accuracy = %.2f, want >= 0.70", acc)
@@ -75,7 +75,7 @@ func TestCycleSQLImprovesExecutionAccuracy(t *testing.T) {
 		dev = dev[:160]
 	}
 	for _, modelName := range []string{"resdsql-3b", "gpt-3.5-turbo"} {
-		p := NewPipeline(nl2sql.MustByName(modelName), v, bench.Name)
+		p := New(nl2sql.MustByName(modelName), WithVerifier(v), WithBenchmark(bench.Name))
 		baseOK, loopOK := 0, 0
 		for _, ex := range dev {
 			db := bench.DB(ex.DBName)
@@ -110,7 +110,7 @@ func TestOracleVerifierBoundsTrained(t *testing.T) {
 	trainedOK, oracleOK := 0, 0
 	for _, ex := range dev {
 		db := bench.DB(ex.DBName)
-		pt := NewPipeline(model, v, bench.Name)
+		pt := New(model, WithVerifier(v), WithBenchmark(bench.Name))
 		rt, err := pt.Translate(context.Background(), ex, db)
 		if err != nil {
 			t.Fatal(err)
@@ -118,7 +118,7 @@ func TestOracleVerifierBoundsTrained(t *testing.T) {
 		if eval.EX(db, rt.Final, ex.Gold) {
 			trainedOK++
 		}
-		po := NewPipeline(model, oracle, bench.Name)
+		po := New(model, WithVerifier(oracle), WithBenchmark(bench.Name))
 		ro, err := po.Translate(context.Background(), ex, db)
 		if err != nil {
 			t.Fatal(err)
@@ -138,7 +138,7 @@ func TestTranslateFallsBackToTop1(t *testing.T) {
 	ex := bench.Dev[0]
 	db := bench.DB(ex.DBName)
 	reject := nli.Func{Label: "reject-all", Fn: func(string, nli.Premise) bool { return false }}
-	p := NewPipeline(nl2sql.MustByName("resdsql-3b"), reject, bench.Name)
+	p := New(nl2sql.MustByName("resdsql-3b"), WithVerifier(reject), WithBenchmark(bench.Name))
 	res, err := p.Translate(context.Background(), ex, db)
 	if err != nil {
 		t.Fatal(err)
@@ -159,7 +159,7 @@ func TestTranslateAcceptsFirstVerified(t *testing.T) {
 	ex := bench.Dev[0]
 	db := bench.DB(ex.DBName)
 	accept := nli.Func{Label: "accept-all", Fn: func(string, nli.Premise) bool { return true }}
-	p := NewPipeline(nl2sql.MustByName("resdsql-3b"), accept, bench.Name)
+	p := New(nl2sql.MustByName("resdsql-3b"), WithVerifier(accept), WithBenchmark(bench.Name))
 	res, err := p.Translate(context.Background(), ex, db)
 	if err != nil {
 		t.Fatal(err)
@@ -193,7 +193,7 @@ func TestSQL2NLFeedbackIsDataBlind(t *testing.T) {
 func TestIterationsBoundedByBeam(t *testing.T) {
 	v := sharedVerifier(t)
 	bench := datasets.Spider()
-	p := NewPipeline(nl2sql.MustByName("picard-3b"), v, bench.Name)
+	p := New(nl2sql.MustByName("picard-3b"), WithVerifier(v), WithBenchmark(bench.Name))
 	p.BeamSize = 4
 	for _, ex := range bench.Dev[:20] {
 		res, err := p.Translate(context.Background(), ex, bench.DB(ex.DBName))

@@ -240,6 +240,7 @@ func (p *Pipeline) Translate(ctx context.Context, ex datasets.Example, db *stora
 		return nil, fmt.Errorf("core: pipeline needs a model and a verifier")
 	}
 	if ctx == nil {
+		//vetcycle:allow ctxflow -- nil-ctx guard for legacy callers; nothing upstream to thread
 		ctx = context.Background()
 	}
 	if err := ctx.Err(); err != nil {
@@ -417,6 +418,7 @@ func (p *Pipeline) examine(ctx context.Context, question string, db *storage.Dat
 // Baseline returns the model's unassisted top-1 translation, the "Base"
 // rows of the paper's tables.
 func (p *Pipeline) Baseline(ex datasets.Example, db *storage.Database) (*sqlast.SelectStmt, error) {
+	//vetcycle:allow ctxflow -- documented one-shot wrapper over BaselineContext
 	return p.BaselineContext(context.Background(), ex, db)
 }
 

@@ -30,9 +30,9 @@ func TestSequentialParallelParity(t *testing.T) {
 		dev = dev[:200]
 	}
 	model := nl2sql.MustByName("resdsql-3b")
-	seq := NewPipeline(model, v, bench.Name)
+	seq := New(model, WithVerifier(v), WithBenchmark(bench.Name))
 	for _, workers := range []int{4, 8} {
-		par := NewPipeline(model, v, bench.Name)
+		par := New(model, WithVerifier(v), WithBenchmark(bench.Name))
 		par.Parallelism = workers
 		for _, ex := range dev {
 			db := bench.DB(ex.DBName)
@@ -78,7 +78,7 @@ func TestConcurrentTranslateStress(t *testing.T) {
 	if len(dev) > 48 {
 		dev = dev[:48]
 	}
-	p := NewPipeline(nl2sql.MustByName("picard-3b"), nli.FewShotLLM{}, bench.Name)
+	p := New(nl2sql.MustByName("picard-3b"), WithVerifier(nli.FewShotLLM{}), WithBenchmark(bench.Name))
 	p.Parallelism = 4
 
 	const drivers = 4
@@ -184,7 +184,7 @@ func TestTranslateRecordsCandidateErrors(t *testing.T) {
 	model := stubModel{cands: []nl2sql.Candidate{candidateOf(bad), candidateOf(ex.Gold)}}
 	for _, workers := range []int{1, 4} {
 		reject := nli.Func{Label: "reject-all", Fn: func(string, nli.Premise) bool { return false }}
-		p := NewPipeline(model, reject, bench.Name)
+		p := New(model, WithVerifier(reject), WithBenchmark(bench.Name))
 		p.Parallelism = workers
 		res, err := p.Translate(context.Background(), ex, db)
 		if err != nil {

@@ -62,9 +62,9 @@ func TestRetryHealsFlakyVerifierParity(t *testing.T) {
 		dev = dev[:60]
 	}
 	model := nl2sql.MustByName("resdsql-3b")
-	clean := NewPipeline(model, v, bench.Name)
+	clean := New(model, WithVerifier(v), WithBenchmark(bench.Name))
 	for _, workers := range []int{1, 4} {
-		flaky := NewPipeline(model, flakyVerifier{inner: v}, bench.Name)
+		flaky := New(model, WithVerifier(flakyVerifier{inner: v}), WithBenchmark(bench.Name))
 		flaky.Parallelism = workers
 		flaky.Resilience = retryPolicy()
 		for _, ex := range dev {
@@ -142,7 +142,7 @@ func TestExaminePanicRecovery(t *testing.T) {
 	accept := nli.Func{Label: "accept-all", Fn: func(string, nli.Premise) bool { return true }}
 	for _, workers := range []int{1, 4} {
 		for _, policy := range []*resilience.Policy{nil, retryPolicy()} {
-			p := NewPipeline(model, accept, bench.Name)
+			p := New(model, WithVerifier(accept), WithBenchmark(bench.Name))
 			p.Feedback = panickyFeedback{inner: NewDataGrounded(), poison: poison.SQL()}
 			p.Parallelism = workers
 			p.Resilience = policy
@@ -194,7 +194,7 @@ func TestTransientPanicRetried(t *testing.T) {
 	bench := datasets.Spider()
 	ex := bench.Dev[0]
 	db := bench.DB(ex.DBName)
-	p := NewPipeline(stubModel{cands: []nl2sql.Candidate{candidateOf(ex.Gold)}}, transientPanicVerifier{}, bench.Name)
+	p := New(stubModel{cands: []nl2sql.Candidate{candidateOf(ex.Gold)}}, WithVerifier(transientPanicVerifier{}), WithBenchmark(bench.Name))
 	p.Resilience = retryPolicy()
 	res, err := p.Translate(context.Background(), ex, db)
 	if err != nil {
@@ -237,7 +237,7 @@ func TestVerifierBreakerDegradesGracefully(t *testing.T) {
 		Breaker:   resilience.BreakerConfig{Threshold: 1, Cooldown: time.Hour},
 		Collector: &resilience.Collector{},
 	}
-	p := NewPipeline(model, downVerifier{}, bench.Name)
+	p := New(model, WithVerifier(downVerifier{}), WithBenchmark(bench.Name))
 	p.Resilience = policy
 	res, err := p.Translate(context.Background(), ex, db)
 	if err != nil {
@@ -290,7 +290,7 @@ func TestDegradationParityWithPreTrippedBreaker(t *testing.T) {
 			t.Fatal("fresh breaker must admit")
 		}
 		br.Record(false)
-		p := NewPipeline(model, accept, bench.Name)
+		p := New(model, WithVerifier(accept), WithBenchmark(bench.Name))
 		p.Parallelism = workers
 		p.Resilience = policy
 		res, err := p.Translate(context.Background(), ex, db)
@@ -320,7 +320,7 @@ func TestRetryBackoffHonorsCancellationInLoop(t *testing.T) {
 		once.Do(func() { close(entered) })
 		return false, resilience.MarkTransient(errors.New("always failing"))
 	}}
-	p := NewPipeline(stubModel{cands: []nl2sql.Candidate{candidateOf(ex.Gold)}}, v, bench.Name)
+	p := New(stubModel{cands: []nl2sql.Candidate{candidateOf(ex.Gold)}}, WithVerifier(v), WithBenchmark(bench.Name))
 	p.Resilience = &resilience.Policy{
 		// An hour of backoff: returning promptly proves the sleep aborted.
 		Retry: resilience.Retry{MaxAttempts: 3, BaseDelay: time.Hour, MaxDelay: time.Hour},

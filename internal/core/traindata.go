@@ -64,7 +64,11 @@ type TrainDataConfig struct {
 //
 // Negatives outnumber positives, reproducing the imbalance the focal loss
 // compensates for.
-func BuildTrainingPairs(bench *datasets.Benchmark, cfg TrainDataConfig) []nli.Pair {
+//
+// Collection is offline but can be long (thousands of executions), so the
+// caller's context threads through every execution, translation and
+// premise; cancelling it returns the pairs collected so far shuffled.
+func BuildTrainingPairs(ctx context.Context, bench *datasets.Benchmark, cfg TrainDataConfig) []nli.Pair {
 	fb := cfg.Feedback
 	if fb == nil {
 		fb = DataGrounded{}
@@ -77,14 +81,14 @@ func BuildTrainingPairs(bench *datasets.Benchmark, cfg TrainDataConfig) []nli.Pa
 	if cfg.MaxExamples > 0 && len(examples) > cfg.MaxExamples {
 		examples = examples[:cfg.MaxExamples]
 	}
-	// Training-data collection is offline and never raced against a
-	// validation win, so premises generate under a background context.
-	ctx := context.Background()
 	var pairs []nli.Pair
 	for _, ex := range examples {
+		if ctx.Err() != nil {
+			break
+		}
 		db := bench.DB(ex.DBName)
 		executor := sqleval.New(db)
-		goldRel, err := executor.Exec(ex.Gold)
+		goldRel, err := executor.ExecContext(ctx, ex.Gold)
 		if err != nil {
 			continue
 		}
@@ -99,14 +103,18 @@ func BuildTrainingPairs(bench *datasets.Benchmark, cfg TrainDataConfig) []nli.Pa
 		negs := 0
 		for _, name := range cfg.Models {
 			model := nl2sql.MustByName(name)
-			for _, cand := range model.Translate(bench.Name, ex, db, 3) {
+			cands, err := nl2sql.TranslateContext(ctx, model, bench.Name, ex, db, 3)
+			if err != nil {
+				continue
+			}
+			for _, cand := range cands {
 				if negs >= 6 {
 					break
 				}
-				if eval.EX(db, cand.Stmt, ex.Gold) {
+				if eval.EXContext(ctx, db, cand.Stmt, ex.Gold) {
 					continue // correct translations are not contradictions
 				}
-				rel, err := executor.Exec(cand.Stmt)
+				rel, err := executor.ExecContext(ctx, cand.Stmt)
 				if err != nil {
 					continue
 				}
@@ -124,9 +132,10 @@ func BuildTrainingPairs(bench *datasets.Benchmark, cfg TrainDataConfig) []nli.Pa
 }
 
 // TrainVerifier collects pairs on the benchmark's train split and fits the
-// dedicated NLI verifier with the paper's training settings.
-func TrainVerifier(bench *datasets.Benchmark, dataCfg TrainDataConfig, trainCfg nli.TrainConfig) *nli.Trained {
-	pairs := BuildTrainingPairs(bench, dataCfg)
+// dedicated NLI verifier with the paper's training settings. The context
+// governs the collection phase; see BuildTrainingPairs.
+func TrainVerifier(ctx context.Context, bench *datasets.Benchmark, dataCfg TrainDataConfig, trainCfg nli.TrainConfig) *nli.Trained {
+	pairs := BuildTrainingPairs(ctx, bench, dataCfg)
 	return nli.Train(pairs, trainCfg)
 }
 

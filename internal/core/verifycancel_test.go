@@ -58,7 +58,7 @@ func TestParallelWinnerAbortsStragglerVerify(t *testing.T) {
 	}
 	v := &gatedVerifier{winnerSQL: nli.SQLOneLine(winner.SQL()), aborted: make(chan struct{})}
 	model := stubModel{cands: []nl2sql.Candidate{candidateOf(winner), candidateOf(straggler)}}
-	p := NewPipeline(model, v, bench.Name)
+	p := New(model, WithVerifier(v), WithBenchmark(bench.Name))
 	p.Parallelism = 2
 
 	start := time.Now()
@@ -94,7 +94,7 @@ func TestSequentialVerifyContextParity(t *testing.T) {
 	ex := bench.Dev[0]
 	db := bench.DB(ex.DBName)
 	accept := nli.Func{Label: "accept-all", Fn: func(string, nli.Premise) bool { return true }}
-	p := NewPipeline(stubModel{cands: []nl2sql.Candidate{candidateOf(ex.Gold)}}, accept, bench.Name)
+	p := New(stubModel{cands: []nl2sql.Candidate{candidateOf(ex.Gold)}}, WithVerifier(accept), WithBenchmark(bench.Name))
 	res, err := p.Translate(context.Background(), ex, db)
 	if err != nil {
 		t.Fatal(err)

@@ -234,7 +234,7 @@ var Fig9Benchmarks = []string{"spider", "spider-realistic", "spider-syn", "spide
 func Fig9(ctx context.Context, lim Limits) (*Table, error) {
 	spider := datasets.Spider()
 	cycleVerifier := Verifier(lim)
-	sql2nlVerifier := core.TrainVerifier(spider,
+	sql2nlVerifier := core.TrainVerifier(ctx, spider,
 		core.TrainDataConfig{Models: lim.TrainModels, MaxExamples: lim.MaxTrain, Seed: 1, Feedback: core.SQL2NLFeedback{}},
 		nli.TrainConfig{Seed: 2},
 	)

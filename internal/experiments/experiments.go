@@ -134,7 +134,10 @@ func Verifier(lim Limits) *nli.Trained {
 		return v
 	}
 	bench := datasets.Spider()
-	v := core.TrainVerifier(bench,
+	// Trained once and cached for every later caller, so collection runs
+	// under a background context on purpose: cancelling one experiment's
+	// context must not poison the shared verifier for the rest.
+	v := core.TrainVerifier(context.Background(), bench,
 		core.TrainDataConfig{Models: lim.TrainModels, MaxExamples: lim.MaxTrain, Seed: 1},
 		nli.TrainConfig{Seed: 2},
 	)

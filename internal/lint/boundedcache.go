@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// boundedCacheScope is where the bounded-cache rule applies: the packages
+// that keep long-lived per-database / per-tenant caches and are shared
+// across goroutines by design.
+var boundedCacheScope = []string{
+	"cyclesql/internal/core",
+	"cyclesql/internal/serve",
+}
+
+// BoundedCache enforces the cache discipline in core and serve: a struct
+// field of map type is a latent unbounded, unsynchronized cache unless
+// the struct also carries a mutex guarding it (or the field is the
+// bounded helper, core's boundedCache, which carries its own). A map that
+// is genuinely read-only after construction is annotated
+// //vetcycle:allow boundedcache with the justification.
+var BoundedCache = &Analyzer{
+	Name: "boundedcache",
+	Doc:  "map-typed struct fields in core/serve need an in-struct mutex or the bounded cache helper",
+	Run:  runBoundedCache,
+}
+
+func runBoundedCache(pass *Pass) error {
+	if !pathIn(pass.Pkg.Path(), boundedCacheScope...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			checkCacheStruct(pass, ts.Name.Name, st)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCacheStruct(pass *Pass, name string, st *ast.StructType) {
+	hasMutex := false
+	for _, field := range st.Fields.List {
+		if tv, ok := pass.TypesInfo.Types[field.Type]; ok && isMutexType(tv.Type) {
+			hasMutex = true
+			break
+		}
+	}
+	if hasMutex {
+		return
+	}
+	for _, field := range st.Fields.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			continue
+		}
+		fname := "(embedded)"
+		if len(field.Names) > 0 {
+			fname = field.Names[0].Name
+		}
+		pass.Reportf(field.Pos(), "raw map field %s in struct %s: caches here must be mutex-guarded and bounded (add a sync.Mutex to the struct or use the boundedCache helper); if the map is read-only after construction, annotate //vetcycle:allow boundedcache -- <why>", fname, name)
+	}
+}

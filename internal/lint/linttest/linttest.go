@@ -1,0 +1,156 @@
+// Package linttest is the golden-fixture harness for the vetcycle
+// analyzers, mirroring golang.org/x/tools/go/analysis/analysistest on the
+// stdlib-only lint framework. Fixtures live in GOPATH-style trees
+// (testdata/src/<import path>/*.go) so they can stub in-module packages
+// under their real import paths; expected findings are written as
+// analysistest-style want comments on the offending line:
+//
+//	db.Insert("t", row) // want `frozen snapshot view`
+//
+// Each backquoted (or double-quoted) string is a regexp that must match
+// one diagnostic reported on that line; diagnostics with no matching
+// expectation, and expectations with no matching diagnostic, both fail
+// the test — so weakening an analyzer breaks its fixture.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cyclesql/internal/lint"
+)
+
+// wantRE captures the payload of a want comment.
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// Run loads each fixture package from root (a testdata/src-style tree),
+// applies the analyzer, and checks the diagnostics against the packages'
+// want comments.
+func Run(t *testing.T, root string, a *lint.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	for _, path := range pkgPaths {
+		t.Run(strings.ReplaceAll(path, "/", "_"), func(t *testing.T) {
+			t.Helper()
+			runOne(t, root, a, path)
+		})
+	}
+}
+
+func runOne(t *testing.T, root string, a *lint.Analyzer, pkgPath string) {
+	t.Helper()
+	pkg, err := lint.LoadSource(root, pkgPath)
+	if err != nil {
+		t.Fatalf("load %s: %v", pkgPath, err)
+	}
+	diags, err := lint.Run(pkg, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, pkgPath, err)
+	}
+	expects, err := collectWants(pkg)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", pkgPath, err)
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		matched := false
+		for _, e := range expects {
+			if !e.hit && e.file == pos.Filename && e.line == pos.Line && e.re.MatchString(d.Message) {
+				e.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", e.file, e.line, e.raw)
+		}
+	}
+}
+
+// collectWants extracts want expectations from every comment in pkg.
+func collectWants(pkg *lint.Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				patterns, err := parsePatterns(m[1])
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", pos, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %q: %w", pos, p, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: p})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// parsePatterns splits a want payload into its quoted regexp strings.
+func parsePatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquote in want: %s", s)
+			}
+			out = append(out, s[1:1+end])
+			s = strings.TrimSpace(s[end+2:])
+		case '"':
+			end := -1
+			// Walk forward to the closing unescaped quote.
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated string in want: %s", s)
+			}
+			lit, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad want string %s: %w", s[:end+1], err)
+			}
+			out = append(out, lit)
+			s = strings.TrimSpace(s[end+1:])
+		default:
+			return nil, fmt.Errorf("want patterns must be quoted or backquoted: %s", s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty want comment")
+	}
+	return out, nil
+}

@@ -1,0 +1,213 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockOrder enforces the repository's lock discipline with a linear
+// (source-order, intra-function) scan:
+//
+//   - no read-to-write upgrade: RLock followed by Lock on the same mutex
+//     without an intervening RUnlock deadlocks under contention;
+//   - no double acquisition of one mutex on a straight-line path;
+//   - documented acquisition order in internal/storage: the database
+//     lock (a *storage.Database's mu) is acquired before any per-index
+//     build lock, never after one is already held;
+//   - no model or verifier call (nl2sql Translate, nli Verify/Score,
+//     explain Explain, core Feedback.Premise — the calls that become
+//     remote inferences in a serving deployment) while any mutex is
+//     held: an inference under a lock serializes the whole pipeline
+//     behind one slow forward pass.
+//
+// The scan is deliberately linear rather than path-sensitive: a `defer
+// mu.Unlock()` keeps the lock held for the remainder of the function,
+// and branch-local unlocks release it for the remainder of the scan.
+// Deliberate exceptions carry //vetcycle:allow lockorder directives.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "enforce lock acquisition order and forbid model/verifier calls under a held mutex",
+	Run:  runLockOrder,
+}
+
+// modelCallNames are the method names that count as model/verifier calls
+// when declared in one of modelCallPkgs.
+var modelCallNames = map[string]bool{
+	"Translate": true, "TranslateContext": true,
+	"Verify": true, "VerifyContext": true, "Score": true,
+	"Explain": true, "ExplainContext": true,
+	"Premise": true,
+}
+
+var modelCallPkgs = []string{
+	"cyclesql/internal/nl2sql",
+	"cyclesql/internal/nli",
+	"cyclesql/internal/explain",
+	"cyclesql/internal/core",
+}
+
+type heldLock struct {
+	key    string
+	read   bool
+	indexy bool // a storage-package lock that is not the database lock
+}
+
+func runLockOrder(pass *Pass) error {
+	if !pathIn(pass.Pkg.Path(), "cyclesql") {
+		return nil
+	}
+	var bodies []ast.Node
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					bodies = append(bodies, n.Body)
+				}
+				return false
+			}
+			return true
+		})
+		// Nested function literals are scanned as their own bodies: a
+		// goroutine or callback does not run at its lexical position, so
+		// its lock events must not leak into the enclosing scan.
+		for i := 0; i < len(bodies); i++ {
+			ast.Inspect(bodies[i], func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok && n != bodies[i] {
+					bodies = append(bodies, lit.Body)
+					return false
+				}
+				return true
+			})
+		}
+		for _, b := range bodies {
+			scanLockOrder(pass, b)
+		}
+		bodies = bodies[:0]
+	}
+	return nil
+}
+
+// scanLockOrder walks one function body in source order, maintaining the
+// set of held locks.
+func scanLockOrder(pass *Pass, body ast.Node) {
+	var held []heldLock
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // scanned separately, with its own lock state
+		case *ast.DeferStmt:
+			// A deferred Unlock releases at return, not here: skip the
+			// deferred call so the lock stays held for the rest of the scan.
+			return false
+		case *ast.CallExpr:
+			held = lockEvent(pass, n, held)
+		}
+		return true
+	})
+}
+
+// lockEvent updates the held-lock set for one call and reports
+// violations observed at that call.
+func lockEvent(pass *Pass, call *ast.CallExpr, held []heldLock) []heldLock {
+	fn := calleeOf(pass.TypesInfo, call)
+	if fn == nil {
+		return held
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		if !isSel || !receiverIsMutex(pass.TypesInfo, sel) {
+			return held
+		}
+		key := exprKey(sel.X)
+		read := fn.Name() == "RLock" || fn.Name() == "RUnlock"
+		if fn.Name() == "Unlock" || fn.Name() == "RUnlock" {
+			for i := len(held) - 1; i >= 0; i-- {
+				if held[i].key == key && held[i].read == read {
+					return append(held[:i:i], held[i+1:]...)
+				}
+			}
+			return held
+		}
+		for _, h := range held {
+			if h.key != key {
+				continue
+			}
+			if h.read && !read {
+				pass.Reportf(call.Pos(), "read-to-write lock upgrade on %s: RLock is still held; release it before Lock or the writer deadlocks behind its own reader", key)
+			} else {
+				pass.Reportf(call.Pos(), "%s is already held on this path (acquired as %s)", key, lockVerb(h.read))
+			}
+			return held
+		}
+		isDB := isDatabaseMu(pass.TypesInfo, sel)
+		if isDB {
+			for _, h := range held {
+				if h.indexy {
+					pass.Reportf(call.Pos(), "database lock %s acquired while holding %s: the documented order is database lock first, then per-index build locks", key, h.key)
+					break
+				}
+			}
+		}
+		return append(held, heldLock{
+			key:    key,
+			read:   read,
+			indexy: !isDB && pathIn(pass.Pkg.Path(), storagePath),
+		})
+	}
+	if isModelCall(fn) && len(held) > 0 {
+		pass.Reportf(call.Pos(), "%s.%s called while holding %s: never hold a lock across a model/verifier call — release it first (an inference under a lock serializes the pipeline)", fn.Pkg().Name(), fn.Name(), held[len(held)-1].key)
+	}
+	return held
+}
+
+func lockVerb(read bool) string {
+	if read {
+		return "RLock"
+	}
+	return "Lock"
+}
+
+// receiverIsMutex reports whether sel.X names a sync.Mutex/RWMutex (the
+// selector resolves Lock/Unlock on it, possibly through embedding).
+func receiverIsMutex(info *types.Info, sel *ast.SelectorExpr) bool {
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	if isMutexType(tv.Type) {
+		return true
+	}
+	// Embedded mutex: the method's actual receiver is sync.(RW)Mutex.
+	if s, ok := info.Selections[sel]; ok {
+		if recv := s.Obj().(*types.Func).Type().(*types.Signature).Recv(); recv != nil {
+			return isMutexType(recv.Type())
+		}
+	}
+	return false
+}
+
+// isDatabaseMu reports whether the lock expression is the storage
+// database lock (field mu — or an embedded mutex — on *storage.Database).
+func isDatabaseMu(info *types.Info, sel *ast.SelectorExpr) bool {
+	x := ast.Unparen(sel.X)
+	if inner, ok := x.(*ast.SelectorExpr); ok {
+		if tv, ok := info.Types[inner.X]; ok && isNamed(tv.Type, storagePath, "Database") {
+			return true
+		}
+	}
+	if tv, ok := info.Types[x]; ok && isNamed(tv.Type, storagePath, "Database") {
+		return true
+	}
+	return false
+}
+
+// isModelCall reports whether fn is a model/verifier inference entry
+// point per the modelCallNames/modelCallPkgs contract.
+func isModelCall(fn *types.Func) bool {
+	if fn.Pkg() == nil || !modelCallNames[fn.Name()] {
+		return false
+	}
+	return pathIn(fn.Pkg().Path(), modelCallPkgs...)
+}

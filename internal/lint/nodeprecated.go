@@ -1,0 +1,235 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// NoDeprecated flags in-repo use of identifiers whose declaration carries
+// a "Deprecated:" doc marker (the standard Go deprecation convention).
+// Export data drops doc comments, so the analyzer re-parses the declaring
+// package's source (resolved through Pass.SrcDir) to find the marks; uses
+// inside the deprecated declarations themselves — the compatibility
+// wrapper's own body — are exempt, as are tests, which deliberately pin
+// wrapper equivalence.
+var NoDeprecated = &Analyzer{
+	Name: "nodeprecated",
+	Doc:  "forbid in-repo use of identifiers marked Deprecated:",
+	Run:  runNoDeprecated,
+}
+
+func runNoDeprecated(pass *Pass) error {
+	if !pathIn(pass.Pkg.Path(), "cyclesql") || pass.SrcDir == nil {
+		return nil
+	}
+	marks := make(map[string]map[string]string) // pkg path -> object key -> note
+	lookup := func(pkgPath string) map[string]string {
+		if m, ok := marks[pkgPath]; ok {
+			return m
+		}
+		m := map[string]string{}
+		if dir := pass.SrcDir(pkgPath); dir != "" {
+			m = deprecatedDecls(dir)
+		}
+		marks[pkgPath] = m
+		return m
+	}
+	// Uses inside this package's own deprecated declarations are exempt:
+	// the deprecated wrapper may reference other deprecated pieces while
+	// both await removal together.
+	exempt := deprecatedRanges(pass)
+
+	type finding struct {
+		pos  token.Pos
+		name string
+		note string
+	}
+	var finds []finding
+	for id, obj := range pass.TypesInfo.Uses {
+		if obj == nil || obj.Pkg() == nil || !pathIn(obj.Pkg().Path(), "cyclesql") {
+			continue
+		}
+		key := objKey(obj)
+		if key == "" {
+			continue
+		}
+		note, ok := lookup(obj.Pkg().Path())[key]
+		if !ok {
+			continue
+		}
+		if inRanges(exempt, id.Pos()) {
+			continue
+		}
+		finds = append(finds, finding{pos: id.Pos(), name: qualifiedName(obj), note: note})
+	}
+	sort.Slice(finds, func(i, j int) bool { return finds[i].pos < finds[j].pos })
+	for _, f := range finds {
+		pass.Reportf(f.pos, "%s is deprecated: %s", f.name, f.note)
+	}
+	return nil
+}
+
+// objKey names an object the way deprecatedDecls indexes declarations:
+// "Name" for package-level objects, "Recv.Name" for methods.
+func objKey(obj types.Object) string {
+	fn, isFunc := obj.(*types.Func)
+	if isFunc {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			named := namedType(sig.Recv().Type())
+			if named == nil {
+				return ""
+			}
+			return named.Obj().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	switch obj.(type) {
+	case *types.TypeName, *types.Var, *types.Const:
+		if obj.Parent() != nil && obj.Parent() != obj.Pkg().Scope() {
+			return "" // locals can't carry package-level deprecation
+		}
+		return obj.Name()
+	}
+	return ""
+}
+
+func qualifiedName(obj types.Object) string {
+	if key := objKey(obj); key != "" {
+		return obj.Pkg().Name() + "." + key
+	}
+	return obj.Name()
+}
+
+// deprecatedNote extracts the first Deprecated: line of a doc comment,
+// or "" when the comment carries no deprecation.
+func deprecatedNote(doc *ast.CommentGroup) string {
+	if doc == nil {
+		return ""
+	}
+	for _, line := range strings.Split(doc.Text(), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "Deprecated:"); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	return ""
+}
+
+// deprecatedDecls parses the non-test sources in dir (no type checking)
+// and returns the deprecated declaration keys with their notes.
+func deprecatedDecls(dir string) map[string]string {
+	out := map[string]string{}
+	names, err := goFilesIn(dir)
+	if err != nil {
+		return out
+	}
+	fset := token.NewFileSet()
+	files, err := parseFiles(fset, dir, names)
+	if err != nil {
+		return out
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if note := deprecatedNote(d.Doc); note != "" {
+					out[funcKey(d)] = note
+				}
+			case *ast.GenDecl:
+				groupNote := deprecatedNote(d.Doc)
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if note := firstNonEmpty(deprecatedNote(s.Doc), groupNote); note != "" {
+							out[s.Name.Name] = note
+						}
+					case *ast.ValueSpec:
+						if note := firstNonEmpty(deprecatedNote(s.Doc), groupNote); note != "" {
+							for _, n := range s.Names {
+								out[n.Name] = note
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// funcKey mirrors objKey for an AST declaration.
+func funcKey(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch u := t.(type) {
+		case *ast.StarExpr:
+			t = u.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = u.X
+		case *ast.IndexListExpr:
+			t = u.X
+		case *ast.Ident:
+			return u.Name + "." + d.Name.Name
+		default:
+			return d.Name.Name
+		}
+	}
+}
+
+type posRange struct{ lo, hi token.Pos }
+
+// deprecatedRanges collects the source extents of this package's own
+// deprecated declarations.
+func deprecatedRanges(pass *Pass) []posRange {
+	var out []posRange
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if deprecatedNote(d.Doc) != "" {
+					out = append(out, posRange{d.Pos(), d.End()})
+				}
+			case *ast.GenDecl:
+				if deprecatedNote(d.Doc) != "" {
+					out = append(out, posRange{d.Pos(), d.End()})
+					continue
+				}
+				for _, spec := range d.Specs {
+					var doc *ast.CommentGroup
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						doc = s.Doc
+					case *ast.ValueSpec:
+						doc = s.Doc
+					}
+					if deprecatedNote(doc) != "" {
+						out = append(out, posRange{spec.Pos(), spec.End()})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func inRanges(rs []posRange, p token.Pos) bool {
+	for _, r := range rs {
+		if r.lo <= p && p < r.hi {
+			return true
+		}
+	}
+	return false
+}
+
+func firstNonEmpty(a, b string) string {
+	if a != "" {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,39 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// NoSleep bans raw time.Sleep in library packages (everything under
+// cyclesql/internal). A bare sleep cannot be cancelled: a candidate whose
+// context is already dead finishes the wait anyway, which is exactly the
+// straggler behavior the resilience layer exists to kill. Library waits
+// must honor a context — resilience's backoff (Retry.Do / its ctx-aware
+// sleep) or an explicit timer select on ctx.Done(). Deliberate sleeps
+// (none today) would carry //vetcycle:allow nosleep directives; tests are
+// exempt as always.
+var NoSleep = &Analyzer{
+	Name: "nosleep",
+	Doc:  "forbid raw time.Sleep in library packages; waits must honor a context",
+	Run:  runNoSleep,
+}
+
+func runNoSleep(pass *Pass) error {
+	if !pathIn(pass.Pkg.Path(), "cyclesql/internal") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(pass.TypesInfo, call)
+			if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Sleep" {
+				pass.Reportf(call.Pos(), "time.Sleep in library code cannot be cancelled: wait on a timer select with ctx.Done() (see resilience's ctx-aware backoff) instead")
+			}
+			return true
+		})
+	}
+	return nil
+}

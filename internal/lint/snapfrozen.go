@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+const storagePath = "cyclesql/internal/storage"
+
+// snapMutators are the *storage.Database methods that mutate the store.
+// Snapshot views (obtained through Snapshot().DB()) are immutable by
+// contract — Insert errors and Mutate panics at runtime; this analyzer
+// moves the violation to build time. Clone() is deliberately absent: it
+// yields an ordinary mutable deep copy.
+var snapMutators = map[string]bool{"Insert": true, "Mutate": true}
+
+// SnapFrozen flags mutating calls on a frozen snapshot view within a
+// function's dataflow: any *storage.Database that came from
+// (*storage.Snapshot).DB() — directly, or through local variable
+// assignments — must never receive Insert or Mutate.
+var SnapFrozen = &Analyzer{
+	Name: "snapfrozen",
+	Doc:  "forbid Insert/Mutate on *storage.Database values obtained from Snapshot().DB()",
+	Run:  runSnapFrozen,
+}
+
+func runSnapFrozen(pass *Pass) error {
+	if !pathIn(pass.Pkg.Path(), "cyclesql") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			// One frozen-variable set per top-level function; closures
+			// share it, since they capture the same variables.
+			frozen := map[string]bool{}
+			snapFrozenWalk(pass, fn.Body, frozen)
+		}
+	}
+	return nil
+}
+
+// snapFrozenWalk scans body in source order, tracking which local names
+// hold frozen views and flagging mutations through them.
+func snapFrozenWalk(pass *Pass, body ast.Node, frozen map[string]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			trackFrozenAssign(pass, n, frozen)
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i < len(n.Values) {
+					frozen[name.Name] = frozenExpr(pass, n.Values[i], frozen)
+				}
+			}
+		case *ast.CallExpr:
+			checkFrozenMutation(pass, n, frozen)
+		}
+		return true
+	})
+}
+
+func trackFrozenAssign(pass *Pass, n *ast.AssignStmt, frozen map[string]bool) {
+	for i, lhs := range n.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if len(n.Rhs) == len(n.Lhs) {
+			frozen[id.Name] = frozenExpr(pass, n.Rhs[i], frozen)
+		} else {
+			// Tuple assignment from a call: nothing on the right is a
+			// bare DB() chain, so the names are (re)bound non-frozen.
+			frozen[id.Name] = false
+		}
+	}
+}
+
+// frozenExpr reports whether e evaluates to a frozen snapshot view: a
+// DB() call on a *storage.Snapshot, or a name already known frozen.
+func frozenExpr(pass *Pass, e ast.Expr, frozen map[string]bool) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return frozen[e.Name]
+	case *ast.CallExpr:
+		fn := calleeOf(pass.TypesInfo, e)
+		if fn == nil || fn.Pkg() == nil {
+			return false
+		}
+		if fn.Name() == "DB" && fn.Pkg().Path() == storagePath {
+			if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+				if tv, ok := pass.TypesInfo.Types[sel.X]; ok && isNamed(tv.Type, storagePath, "Snapshot") {
+					return true
+				}
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+func checkFrozenMutation(pass *Pass, call *ast.CallExpr, frozen map[string]bool) {
+	fn := calleeOf(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != storagePath || !snapMutators[fn.Name()] {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	recv := ast.Unparen(sel.X)
+	if !isNamedRecv(pass, recv) {
+		return
+	}
+	if frozenExpr(pass, recv, frozen) {
+		pass.Reportf(call.Pos(), "%s on a frozen snapshot view: Snapshot().DB() is immutable by contract; Clone() the view for a mutable copy, or write to the live store", fn.Name())
+	}
+}
+
+// isNamedRecv confirms the receiver really is a *storage.Database (the
+// mutator name check alone would also match shadowing types).
+func isNamedRecv(pass *Pass, recv ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[recv]
+	return ok && isNamed(tv.Type, storagePath, "Database")
+}

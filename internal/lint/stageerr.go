@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// stagePrefixes are the stringly error prefixes resilience.StageError
+// retired (PR 6). Matching them in strings again would re-introduce the
+// coupling the typed record exists to prevent.
+var stagePrefixes = []string{"translate:", "execute:", "explain:", "verify:"}
+
+// StageErr enforces the typed-error contract around resilience.StageError:
+// callers classify stage failures with errors.As (which survives
+// wrapping) and the StageError fields — never with direct type assertions
+// or by string-matching the retired "execute:"/"explain:"/"verify:"
+// prefixes out of an error's text.
+var StageErr = &Analyzer{
+	Name: "stageerr",
+	Doc:  "match stage errors via errors.As on resilience.StageError, not type asserts or string prefixes",
+	Run:  runStageErr,
+}
+
+const resiliencePath = "cyclesql/internal/resilience"
+
+func runStageErr(pass *Pass) error {
+	if !pathIn(pass.Pkg.Path(), "cyclesql") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.TypeAssertExpr:
+				if n.Type == nil {
+					return true // x.(type) handled via TypeSwitchStmt cases
+				}
+				if assertsStageError(pass.TypesInfo, n.X, n.Type) {
+					pass.Reportf(n.Pos(), "direct type assertion on resilience.StageError: use errors.As so wrapped stage errors still match")
+				}
+			case *ast.TypeSwitchStmt:
+				x := typeSwitchSubject(n)
+				if x == nil {
+					return true
+				}
+				for _, clause := range n.Body.List {
+					cc, ok := clause.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, t := range cc.List {
+						if assertsStageError(pass.TypesInfo, x, t) {
+							pass.Reportf(t.Pos(), "type switch case on resilience.StageError: use errors.As so wrapped stage errors still match")
+						}
+					}
+				}
+			case *ast.CallExpr:
+				checkStageStringMatch(pass, n)
+			case *ast.BinaryExpr:
+				checkStageStringCompare(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// typeSwitchSubject extracts the switched expression from `switch v :=
+// x.(type)` / `switch x.(type)`.
+func typeSwitchSubject(n *ast.TypeSwitchStmt) ast.Expr {
+	var assert *ast.TypeAssertExpr
+	switch s := n.Assign.(type) {
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			assert, _ = ast.Unparen(s.Rhs[0]).(*ast.TypeAssertExpr)
+		}
+	case *ast.ExprStmt:
+		assert, _ = ast.Unparen(s.X).(*ast.TypeAssertExpr)
+	}
+	if assert == nil {
+		return nil
+	}
+	return assert.X
+}
+
+// assertsStageError reports whether asserting x to type texpr narrows an
+// error interface down to resilience.StageError.
+func assertsStageError(info *types.Info, x ast.Expr, texpr ast.Expr) bool {
+	tv, ok := info.Types[texpr]
+	if !ok || !isNamed(tv.Type, resiliencePath, "StageError") {
+		return false
+	}
+	xtv, ok := info.Types[x]
+	if !ok {
+		return false
+	}
+	_, isIface := xtv.Type.Underlying().(*types.Interface)
+	return isIface
+}
+
+// checkStageStringMatch flags strings.HasPrefix/HasSuffix/Contains calls
+// whose pattern argument is (or starts with) a stage prefix.
+func checkStageStringMatch(pass *Pass, call *ast.CallExpr) {
+	fn := calleeOf(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "strings" {
+		return
+	}
+	switch fn.Name() {
+	case "HasPrefix", "HasSuffix", "Contains", "Index":
+	default:
+		return
+	}
+	for _, arg := range call.Args {
+		if lit, ok := stringConst(pass.TypesInfo, arg); ok && matchesStagePrefix(lit) {
+			pass.Reportf(call.Pos(), "string-matching the %q stage prefix: classify with errors.As(err, &se) and se.Stage instead", lit)
+			return
+		}
+	}
+}
+
+// checkStageStringCompare flags `err.Error() == "execute: ..."`-style
+// comparisons.
+func checkStageStringCompare(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op.String() != "==" && be.Op.String() != "!=" {
+		return
+	}
+	for _, pair := range [][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+		lit, ok := stringConst(pass.TypesInfo, pair[1])
+		if !ok || !matchesStagePrefix(lit) {
+			continue
+		}
+		if isErrorTextCall(pass.TypesInfo, pair[0]) {
+			pass.Reportf(be.Pos(), "comparing error text against the %q stage prefix: classify with errors.As(err, &se) and se.Stage instead", lit)
+			return
+		}
+	}
+}
+
+// isErrorTextCall reports whether e is a call to Error() on an error.
+func isErrorTextCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeOf(info, call)
+	return fn != nil && fn.Name() == "Error" && fn.Type().(*types.Signature).Recv() != nil
+}
+
+// stringConst extracts a compile-time string constant from e.
+func stringConst(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func matchesStagePrefix(s string) bool {
+	for _, p := range stagePrefixes {
+		if strings.HasPrefix(s, p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,21 @@
+// Package badallow exercises directive hygiene: a suppression without a
+// justification, or naming an unknown analyzer, is itself a finding —
+// and a malformed directive does not suppress anything.
+package badallow
+
+import "time"
+
+func sleepy(d time.Duration) {
+	//vetcycle:allow nosleep // want `needs a justification`
+	time.Sleep(d) // want `time\.Sleep in library code`
+}
+
+func sleepier(d time.Duration) {
+	//vetcycle:allow nosuchanalyzer -- misdirected suppression // want `unknown analyzer`
+	time.Sleep(d) // want `time\.Sleep in library code`
+}
+
+func quiet(d time.Duration) {
+	//vetcycle:allow nosleep -- properly justified, properly silent
+	time.Sleep(d)
+}

@@ -1,0 +1,57 @@
+// Package ctxfix exercises ctxflow inside its scope (a subpackage of
+// cyclesql/internal/core).
+package ctxfix
+
+import (
+	"context"
+
+	"cyclesql/internal/nli"
+)
+
+// Runner pairs a background wrapper with its ctx-aware sibling.
+type Runner struct{}
+
+// ExecContext is the real entry point.
+func (r *Runner) ExecContext(ctx context.Context, q string) error { return ctx.Err() }
+
+// Exec is the documented one-shot wrapper.
+func (r *Runner) Exec(q string) error {
+	//vetcycle:allow ctxflow -- Exec is the documented background one-shot wrapper
+	return r.ExecContext(context.Background(), q)
+}
+
+func todoInScope() error {
+	ctx := context.TODO() // want `context\.TODO\(\)`
+	return ctx.Err()
+}
+
+func backgroundInScope() error {
+	ctx := context.Background() // want `context\.Background\(\)`
+	return ctx.Err()
+}
+
+func dropsCtx(ctx context.Context, r *Runner) error {
+	return r.Exec("q") // want `Exec drops the in-scope ctx`
+}
+
+func threadsCtx(ctx context.Context, r *Runner) error {
+	return r.ExecContext(ctx, "q")
+}
+
+func noCtxInScope(r *Runner) error {
+	return r.Exec("q")
+}
+
+func dropsCtxInClosure(ctx context.Context, r *Runner) func() error {
+	return func() error {
+		return r.Exec("q") // want `Exec drops the in-scope ctx`
+	}
+}
+
+func dropsVerify(ctx context.Context, v nli.Verifier) bool {
+	return v.Verify("h", nli.Premise{}) // want `Verify drops the in-scope ctx`
+}
+
+func threadsVerify(ctx context.Context, v nli.Verifier) (bool, error) {
+	return nli.VerifyContext(ctx, v, "h", nli.Premise{})
+}

@@ -1,0 +1,30 @@
+// Package depfix exercises nodeprecated: in-repo uses of identifiers
+// marked Deprecated: are findings; uses inside deprecated declarations
+// (compatibility wrappers awaiting removal together) are exempt.
+package depfix
+
+import "cyclesql/internal/depfix/old"
+
+func use() int {
+	t := old.NewThing() // want `old\.NewThing is deprecated: use MakeThing instead`
+	t.Run()             // want `old\.Thing\.Run is deprecated: use RunContext`
+	return old.FlagA    // want `old\.FlagA is deprecated: use FlagB`
+}
+
+func useReplacement() int {
+	t := old.MakeThing()
+	t.RunContext()
+	return old.FlagB
+}
+
+// legacy is this package's own deprecated helper.
+//
+// Deprecated: use modern.
+func legacy() int { return old.FlagA }
+
+// modern is the replacement.
+func modern() int { return old.FlagB }
+
+func callsLegacy() int {
+	return legacy() // want `depfix\.legacy is deprecated: use modern`
+}

@@ -1,0 +1,28 @@
+// Package old declares deprecated identifiers for the nodeprecated
+// fixture.
+package old
+
+// NewThing builds a Thing.
+//
+// Deprecated: use MakeThing instead.
+func NewThing() Thing { return Thing{} }
+
+// MakeThing is the replacement constructor.
+func MakeThing() Thing { return Thing{} }
+
+// Deprecated: use FlagB.
+const FlagA = 1
+
+// FlagB is the replacement flag.
+const FlagB = 2
+
+// Thing is a live type with one deprecated method.
+type Thing struct{}
+
+// Run runs the thing.
+//
+// Deprecated: use RunContext.
+func (t Thing) Run() {}
+
+// RunContext is the replacement entry point.
+func (t Thing) RunContext() {}

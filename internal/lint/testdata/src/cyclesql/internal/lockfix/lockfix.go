@@ -1,0 +1,50 @@
+// Package lockfix exercises lockorder's model-call rule: no mutex held
+// across a model/verifier call.
+package lockfix
+
+import (
+	"sync"
+
+	"cyclesql/internal/nli"
+)
+
+type verdictCache struct {
+	mu sync.Mutex
+	m  map[string]bool
+}
+
+func (c *verdictCache) verdictBad(v nli.Verifier, h string, p nli.Premise) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if got, ok := c.m[h]; ok {
+		return got
+	}
+	got := v.Verify(h, p) // want `called while holding c\.mu`
+	c.m[h] = got
+	return got
+}
+
+func (c *verdictCache) verdictGood(v nli.Verifier, h string, p nli.Premise) bool {
+	c.mu.Lock()
+	got, ok := c.m[h]
+	c.mu.Unlock()
+	if ok {
+		return got
+	}
+	res := v.Verify(h, p)
+	c.mu.Lock()
+	c.m[h] = res
+	c.mu.Unlock()
+	return res
+}
+
+// goroutineIsolated shows the per-function lock state: the literal runs
+// at an unknown time, so its acquisitions don't extend the enclosing
+// function's held set (and vice versa).
+func goroutineIsolated(c *verdictCache, v nli.Verifier, h string, p nli.Premise) {
+	c.mu.Lock()
+	go func() {
+		_ = v.Verify(h, p)
+	}()
+	c.mu.Unlock()
+}

@@ -1,0 +1,23 @@
+// Package nli is the fixture stub of cyclesql/internal/nli: the verifier
+// surface the ctxflow and lockorder fixtures call.
+package nli
+
+import "context"
+
+// Premise is the stub verifier input.
+type Premise struct{ SQL string }
+
+// Verifier is the stub verification interface.
+type Verifier interface {
+	Name() string
+	Verify(hypothesis string, premise Premise) bool
+	Score(hypothesis string, premise Premise) float64
+}
+
+// VerifyContext is the ctx-aware companion of Verifier.Verify.
+func VerifyContext(ctx context.Context, v Verifier, hypothesis string, premise Premise) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	return v.Verify(hypothesis, premise), nil
+}

@@ -1,0 +1,19 @@
+// Package other sits outside the ctxflow and boundedcache scopes: the
+// same shapes that are findings in core/serve must be silent here.
+package other
+
+import "context"
+
+type freeform struct {
+	cache map[string]int
+}
+
+func backgroundOutOfScope() error {
+	ctx := context.Background()
+	return ctx.Err()
+}
+
+func todoOutOfScope(f *freeform) int {
+	_ = context.TODO()
+	return f.cache["k"]
+}

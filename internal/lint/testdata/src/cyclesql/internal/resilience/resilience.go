@@ -1,0 +1,25 @@
+// Package resilience is the fixture stub of cyclesql/internal/resilience:
+// the StageError surface the stageerr fixture asserts against.
+package resilience
+
+// Stage names one pipeline stage.
+type Stage string
+
+// Stub stage constants.
+const (
+	StageTranslate Stage = "translate"
+	StageExecute   Stage = "execute"
+	StageExplain   Stage = "explain"
+	StageVerify    Stage = "verify"
+)
+
+// StageError is the typed per-candidate stage failure record.
+type StageError struct {
+	Stage     Stage
+	Attempt   int
+	Err       string
+	Transient bool
+}
+
+// Error implements error.
+func (e StageError) Error() string { return string(e.Stage) + ": " + e.Err }

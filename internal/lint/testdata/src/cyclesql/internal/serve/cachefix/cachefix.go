@@ -1,0 +1,25 @@
+// Package cachefix exercises boundedcache inside its scope (a subpackage
+// of cyclesql/internal/serve).
+package cachefix
+
+import "sync"
+
+type leaky struct {
+	warm map[string]int // want `raw map field warm in struct leaky`
+	n    int
+}
+
+type guarded struct {
+	mu   sync.Mutex
+	warm map[string]int
+}
+
+type annotated struct {
+	//vetcycle:allow boundedcache -- built once at startup, read-only afterwards
+	book map[string]int
+}
+
+type plain struct {
+	n int
+	s []string
+}

@@ -1,0 +1,28 @@
+// Package sleepfix exercises nosleep: raw time.Sleep is banned in
+// library packages; waits honor a context.
+package sleepfix
+
+import (
+	"context"
+	"time"
+)
+
+func wait(d time.Duration) {
+	time.Sleep(d) // want `time\.Sleep in library code`
+}
+
+func waitCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func deliberate(d time.Duration) {
+	//vetcycle:allow nosleep -- fixture for the documented-escape-hatch path
+	time.Sleep(d)
+}

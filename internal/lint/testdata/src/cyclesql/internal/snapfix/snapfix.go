@@ -1,0 +1,32 @@
+// Package snapfix exercises snapfrozen: no mutation through a
+// *storage.Database obtained from Snapshot().DB().
+package snapfix
+
+import "cyclesql/internal/storage"
+
+func mutateView(db *storage.Database) {
+	snap := db.Snapshot()
+	view := snap.DB()
+	view.Insert("t")               // want `Insert on a frozen snapshot view`
+	view.Mutate("t")               // want `Mutate on a frozen snapshot view`
+	db.Snapshot().DB().Insert("t") // want `Insert on a frozen snapshot view`
+
+	aliased := view
+	aliased.Insert("t") // want `Insert on a frozen snapshot view`
+
+	clone := view.Clone()
+	clone.Insert("t")
+
+	view = clone
+	view.Insert("t")
+
+	db.Insert("t")
+	db.Mutate("t")
+}
+
+func readsAreFine(db *storage.Database) *storage.Database {
+	view := db.Snapshot().DB()
+	other := view
+	_ = other
+	return view
+}

@@ -1,0 +1,52 @@
+// Package stagefix exercises stageerr: stage failures are classified
+// with errors.As on resilience.StageError, never type asserts or string
+// matching.
+package stagefix
+
+import (
+	"errors"
+	"strings"
+
+	"cyclesql/internal/resilience"
+)
+
+func classifyAssert(err error) bool {
+	if _, ok := err.(resilience.StageError); ok { // want `direct type assertion`
+		return true
+	}
+	return false
+}
+
+func classifySwitch(err error) string {
+	switch err.(type) {
+	case resilience.StageError: // want `type switch case`
+		return "stage"
+	default:
+		return ""
+	}
+}
+
+func classifyPrefix(err error) bool {
+	return strings.HasPrefix(err.Error(), "execute:") // want `string-matching the "execute:" stage prefix`
+}
+
+func classifyContains(err error) bool {
+	return strings.Contains(err.Error(), "verify: circuit open") // want `string-matching the "verify: circuit open" stage prefix`
+}
+
+func classifyCompare(err error) bool {
+	return err.Error() == "explain: boom" // want `comparing error text`
+}
+
+func classifyRight(err error) (resilience.Stage, bool) {
+	var se resilience.StageError
+	if errors.As(err, &se) {
+		return se.Stage, true
+	}
+	return "", false
+}
+
+// fieldMatch is the blessed pattern: classify on the typed fields.
+func fieldMatch(se resilience.StageError) bool {
+	return se.Stage == resilience.StageVerify && se.Transient
+}

@@ -1,0 +1,51 @@
+package storage
+
+import "sync"
+
+// colIndex carries a per-index build lock, ranked after the database
+// lock in the documented acquisition order.
+type colIndex struct {
+	build sync.Mutex
+	rows  []int
+}
+
+func (db *Database) upgradeBad() int {
+	db.mu.RLock()
+	n := len(db.tables)
+	db.mu.Lock() // want `read-to-write lock upgrade on db\.mu`
+	db.mu.Unlock()
+	db.mu.RUnlock()
+	return n
+}
+
+func (db *Database) doubleBad() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.mu.Lock() // want `db\.mu is already held`
+	db.mu.Unlock()
+}
+
+func (db *Database) orderBad(ix *colIndex) {
+	ix.build.Lock()
+	defer ix.build.Unlock()
+	db.mu.Lock() // want `documented order is database lock first`
+	defer db.mu.Unlock()
+	ix.rows = append(ix.rows, len(db.tables))
+}
+
+func (db *Database) orderGood(ix *colIndex) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ix.build.Lock()
+	defer ix.build.Unlock()
+	ix.rows = append(ix.rows, len(db.tables))
+}
+
+func (db *Database) upgradeGood() int {
+	db.mu.RLock()
+	n := len(db.tables)
+	db.mu.RUnlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return n
+}

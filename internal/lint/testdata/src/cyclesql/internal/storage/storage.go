@@ -1,0 +1,48 @@
+// Package storage is the fixture stub of cyclesql/internal/storage: just
+// enough surface (Database, Snapshot, the mutators, the database lock)
+// for the snapfrozen and lockorder fixtures to typecheck under the real
+// import path.
+package storage
+
+import "sync"
+
+// Row is a stub row.
+type Row []any
+
+// Database is the stub store; mu is the database lock the lockorder
+// analyzer ranks ahead of per-index build locks.
+type Database struct {
+	mu     sync.RWMutex
+	tables map[string][]Row
+}
+
+// Insert appends rows to a table.
+func (db *Database) Insert(table string, rows ...Row) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.tables[table] = append(db.tables[table], rows...)
+	return nil
+}
+
+// Mutate rewrites a table in place.
+func (db *Database) Mutate(table string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	delete(db.tables, table)
+}
+
+// Clone returns a mutable deep copy.
+func (db *Database) Clone() *Database { return &Database{} }
+
+// Snapshot pins an immutable view.
+func (db *Database) Snapshot() *Snapshot {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return &Snapshot{db: &Database{tables: db.tables}}
+}
+
+// Snapshot is the stub immutable view.
+type Snapshot struct{ db *Database }
+
+// DB exposes the frozen view as a *Database.
+func (s *Snapshot) DB() *Database { return s.db }

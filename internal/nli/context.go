@@ -55,12 +55,13 @@ func (l Latency) Score(hypothesis string, premise Premise) float64 {
 }
 
 // Verify implements Verifier: the full simulated wait, then the wrapped
-// verdict.
+// verdict. It delegates to VerifyContext so the wait logic lives in one
+// place; with no context to cancel, the background wait always runs to
+// completion, preserving Verify's uninterruptible contract.
 func (l Latency) Verify(hypothesis string, premise Premise) bool {
-	if l.D > 0 {
-		time.Sleep(l.D)
-	}
-	return l.V.Verify(hypothesis, premise)
+	//vetcycle:allow ctxflow -- documented one-shot wrapper over VerifyContext
+	v, _ := l.VerifyContext(context.Background(), hypothesis, premise)
+	return v
 }
 
 // VerifyContext implements ContextVerifier: the wait aborts — returning

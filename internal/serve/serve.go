@@ -68,7 +68,8 @@ type Config struct {
 // Server routes tenants, admits requests and runs the loop. Create with
 // New; serve via Handler.
 type Server struct {
-	cfg     Config
+	cfg Config
+	//vetcycle:allow boundedcache -- populated once in New, read-only afterwards; per-tenant mutable state lives behind tenant's own mutexes
 	tenants map[string]*tenant
 	slots   chan struct{}
 	queue   chan struct{}

@@ -123,6 +123,7 @@ func (cc *cancelCheck) poll() error {
 // result relation. It never aborts early; callers that need cancellation
 // or timeouts use ExecContext.
 func (ex *Executor) Exec(stmt *sqlast.SelectStmt) (*sqltypes.Relation, error) {
+	//vetcycle:allow ctxflow -- documented one-shot wrapper over ExecContext
 	return ex.ExecContext(context.Background(), stmt)
 }
 
@@ -135,6 +136,7 @@ func (ex *Executor) Exec(stmt *sqlast.SelectStmt) (*sqltypes.Relation, error) {
 // experiment driver to enforce per-example timeouts.
 func (ex *Executor) ExecContext(ctx context.Context, stmt *sqlast.SelectStmt) (*sqltypes.Relation, error) {
 	if ctx == nil {
+		//vetcycle:allow ctxflow -- nil-ctx guard for legacy callers; nothing upstream to thread
 		ctx = context.Background()
 	}
 	prog, err := ex.compiled(stmt)

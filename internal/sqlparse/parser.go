@@ -609,7 +609,7 @@ func (p *parser) parsePrimary() (sqlast.Expr, error) {
 				return &sqlast.ColumnRef{Table: t.Text, Column: "*"}, nil
 			}
 			if nt.Kind != sqllex.TokIdent && nt.Kind != sqllex.TokKeyword {
-				return nil, p.errorf("expected column after %q.", t.Text)
+				return nil, p.errorf("expected column name after the dot following %q", t.Text)
 			}
 			p.pos++
 			return &sqlast.ColumnRef{Table: t.Text, Column: nt.Text}, nil
