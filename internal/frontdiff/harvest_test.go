@@ -1,0 +1,122 @@
+package frontdiff
+
+import (
+	"encoding/json"
+	"go/scanner"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// harvestSQLLiterals walks the repository and collects every string that
+// looks like SQL: Go string literals (interpreted and raw, from sources
+// and tests alike) plus string values inside JSON testdata. The yield is
+// deliberately over-inclusive — format strings and deliberately broken
+// fixtures are kept, because the differential property being tested is
+// verdict agreement, not validity.
+func harvestSQLLiterals(t *testing.T) []string {
+	t.Helper()
+	root := repoRoot(t)
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "fuzz" {
+				// testdata/fuzz corpora are exercised by the fuzz
+				// targets themselves with the same oracle assertions.
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		switch filepath.Ext(path) {
+		case ".go":
+			harvestGoFile(t, path, seen)
+		case ".json":
+			harvestJSONFile(t, path, seen)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking repo: %v", err)
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	// The test runs with the package directory as CWD: internal/frontdiff.
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("repo root %s has no go.mod: %v", root, err)
+	}
+	return root
+}
+
+func harvestGoFile(t *testing.T, path string, seen map[string]bool) {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	fset := token.NewFileSet()
+	var sc scanner.Scanner
+	sc.Init(fset.AddFile(path, fset.Base(), len(src)), src, nil, 0)
+	for {
+		_, tok, lit := sc.Scan()
+		if tok == token.EOF {
+			break
+		}
+		if tok != token.STRING {
+			continue
+		}
+		s, err := strconv.Unquote(lit)
+		if err != nil {
+			continue
+		}
+		if looksLikeSQL(s) {
+			seen[s] = true
+		}
+	}
+}
+
+func harvestJSONFile(t *testing.T, path string, seen map[string]bool) {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("opening %s: %v", path, err)
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return // EOF or malformed testdata; either way, done
+		}
+		if s, ok := tok.(string); ok && looksLikeSQL(s) {
+			seen[s] = true
+		}
+	}
+}
+
+func looksLikeSQL(s string) bool {
+	if len(s) < 8 || len(s) > 4096 {
+		return false
+	}
+	up := strings.ToUpper(s)
+	return strings.Contains(up, "SELECT ") || strings.Contains(up, "SELECT\t")
+}

@@ -3,10 +3,10 @@ package sqleval
 import (
 	"fmt"
 	"math/rand"
-	"strings"
 	"testing"
 
 	"cyclesql/internal/schema"
+	"cyclesql/internal/sqlgen"
 	"cyclesql/internal/sqltypes"
 	"cyclesql/internal/storage"
 )
@@ -75,43 +75,6 @@ func randomDB(t testing.TB, rng *rand.Rand) *storage.Database {
 	return db
 }
 
-// randomLiteral renders a random comparison bound: integers, halves,
-// text (plain and numeric-looking), and the occasional NULL (which no
-// probe may claim and no row may pass).
-func randomLiteral(rng *rand.Rand) string {
-	switch rng.Intn(8) {
-	case 0:
-		return fmt.Sprintf("%.1f", float64(rng.Intn(21)-5)/2)
-	case 1:
-		return "'" + []string{"a", "b", "m", "z", "5", "mm"}[rng.Intn(6)] + "'"
-	case 2:
-		return "NULL"
-	default:
-		return fmt.Sprint(rng.Intn(14) - 3)
-	}
-}
-
-// randomPredicate renders one conjunct over the given columns.
-func randomPredicate(rng *rand.Rand, cols []string) string {
-	col := cols[rng.Intn(len(cols))]
-	switch rng.Intn(8) {
-	case 0: // literal-first spelling
-		op := []string{"<", "<=", ">", ">=", "="}[rng.Intn(5)]
-		return randomLiteral(rng) + " " + op + " " + col
-	case 1:
-		not := ""
-		if rng.Intn(3) == 0 {
-			not = "NOT "
-		}
-		return fmt.Sprintf("%s %sBETWEEN %s AND %s", col, not, randomLiteral(rng), randomLiteral(rng))
-	case 2:
-		return col + " IS NOT NULL"
-	default:
-		op := []string{"<", "<=", ">", ">=", "=", "!="}[rng.Intn(6)]
-		return col + " " + op + " " + randomLiteral(rng)
-	}
-}
-
 // TestRandomizedPredicateParity is the property-based harness for the new
 // access paths: hundreds of randomized single-table queries — random range
 // predicates over mixed-kind columns with NULLs, random ORDER BY
@@ -119,46 +82,12 @@ func randomPredicate(rng *rand.Rand, cols []string) string {
 // through the indexed, index-free, and nested-loop executors. Any
 // divergence between a sorted-index span (or streamed ordering) and the
 // scan-and-sort semantics shows up as a failing SQL string that reproduces
-// with the fixed seed.
+// with the fixed seed. The query corpus lives in internal/sqlgen, shared
+// with the front-end differential suite.
 func TestRandomizedPredicateParity(t *testing.T) {
-	rng := rand.New(rand.NewSource(7))
-	db := randomDB(t, rng)
-	cols := []string{"id", "num", "val", "txt"}
-	for i := 0; i < 400; i++ {
-		var b strings.Builder
-		b.WriteString("SELECT ")
-		if rng.Intn(8) == 0 {
-			b.WriteString("DISTINCT ")
-		}
-		switch rng.Intn(3) {
-		case 0:
-			b.WriteString("*")
-		case 1:
-			b.WriteString(cols[rng.Intn(len(cols))])
-		default:
-			b.WriteString("id, " + cols[1+rng.Intn(3)])
-		}
-		b.WriteString(" FROM T")
-		if n := rng.Intn(4); n > 0 {
-			preds := make([]string, n)
-			for p := range preds {
-				preds[p] = randomPredicate(rng, cols)
-			}
-			b.WriteString(" WHERE " + strings.Join(preds, " AND "))
-		}
-		if rng.Intn(3) > 0 {
-			b.WriteString(" ORDER BY " + cols[rng.Intn(len(cols))])
-			if rng.Intn(2) == 0 {
-				b.WriteString(" DESC")
-			}
-			if rng.Intn(3) > 0 {
-				fmt.Fprintf(&b, " LIMIT %d", rng.Intn(25))
-				if rng.Intn(3) == 0 {
-					fmt.Fprintf(&b, " OFFSET %d", rng.Intn(6))
-				}
-			}
-		}
-		runBoth(t, db, b.String())
+	db := randomDB(t, rand.New(rand.NewSource(sqlgen.SingleTableSeed)))
+	for _, q := range sqlgen.SingleTableQueries(sqlgen.SingleTableSeed, sqlgen.SingleTableCount) {
+		runBoth(t, db, q)
 	}
 }
 
@@ -167,21 +96,8 @@ func TestRandomizedPredicateParity(t *testing.T) {
 // composite index must match the per-execution hash table and the nested
 // loop, row for row, across NULL keys and mixed-kind key columns.
 func TestRandomizedJoinParity(t *testing.T) {
-	rng := rand.New(rand.NewSource(11))
-	db := randomDB(t, rng)
-	for i := 0; i < 80; i++ {
-		join := "JOIN"
-		if rng.Intn(3) == 0 {
-			join = "LEFT JOIN"
-		}
-		var b strings.Builder
-		fmt.Fprintf(&b, "SELECT T.id, U.w FROM T %s U ON T.num = U.k1 AND T.txt = U.k2", join)
-		if rng.Intn(2) == 0 && join == "JOIN" {
-			b.WriteString(" WHERE " + randomPredicate(rng, []string{"id", "num", "val", "txt", "w", "k1", "k2"}))
-		}
-		if rng.Intn(2) == 0 {
-			fmt.Fprintf(&b, " ORDER BY T.id LIMIT %d", 1+rng.Intn(30))
-		}
-		runBoth(t, db, b.String())
+	db := randomDB(t, rand.New(rand.NewSource(sqlgen.JoinSeed)))
+	for _, q := range sqlgen.JoinQueries(sqlgen.JoinSeed, sqlgen.JoinCount) {
+		runBoth(t, db, q)
 	}
 }

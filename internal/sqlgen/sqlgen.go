@@ -1,0 +1,143 @@
+// Package sqlgen generates the seeded-random property-query corpus
+// shared by the executor parity tests (internal/sqleval) and the
+// front-end differential suite (internal/frontdiff). The queries target
+// the two-table T/U schema built by the sqleval property harness:
+// T(id, num, val, txt) and U(k1, k2, w), with mixed-kind columns and
+// NULLs. Generation is deterministic per seed, so a failing query
+// reproduces from its suite's fixed seed alone.
+package sqlgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// TableTCols are the columns of the property schema's table T.
+var TableTCols = []string{"id", "num", "val", "txt"}
+
+// JoinCols are the columns visible in the T-join-U property queries.
+var JoinCols = []string{"id", "num", "val", "txt", "w", "k1", "k2"}
+
+// Property-corpus shape: the documented "480 seeded-random property
+// queries" are the single-table and join suites at their fixed seeds.
+const (
+	SingleTableSeed  = 7
+	SingleTableCount = 400
+	JoinSeed         = 11
+	JoinCount        = 80
+)
+
+// PropertyQueries returns the full 480-query property corpus.
+func PropertyQueries() []string {
+	qs := SingleTableQueries(SingleTableSeed, SingleTableCount)
+	return append(qs, JoinQueries(JoinSeed, JoinCount)...)
+}
+
+// SingleTableQueries generates n randomized single-table queries over T:
+// random projections (star, single column, pairs, DISTINCT), random
+// conjunctions of range/BETWEEN/IS NOT NULL predicates — including
+// literal-first spellings — and random ORDER BY / LIMIT / OFFSET tails.
+func SingleTableQueries(seed int64, n int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		var b strings.Builder
+		b.WriteString("SELECT ")
+		if rng.Intn(8) == 0 {
+			b.WriteString("DISTINCT ")
+		}
+		switch rng.Intn(3) {
+		case 0:
+			b.WriteString("*")
+		case 1:
+			b.WriteString(TableTCols[rng.Intn(len(TableTCols))])
+		default:
+			b.WriteString("id, " + TableTCols[1+rng.Intn(3)])
+		}
+		b.WriteString(" FROM T")
+		if n := rng.Intn(4); n > 0 {
+			preds := make([]string, n)
+			for p := range preds {
+				preds[p] = RandomPredicate(rng, TableTCols)
+			}
+			b.WriteString(" WHERE " + strings.Join(preds, " AND "))
+		}
+		if rng.Intn(3) > 0 {
+			b.WriteString(" ORDER BY " + TableTCols[rng.Intn(len(TableTCols))])
+			if rng.Intn(2) == 0 {
+				b.WriteString(" DESC")
+			}
+			if rng.Intn(3) > 0 {
+				fmt.Fprintf(&b, " LIMIT %d", rng.Intn(25))
+				if rng.Intn(3) == 0 {
+					fmt.Fprintf(&b, " OFFSET %d", rng.Intn(6))
+				}
+			}
+		}
+		out = append(out, b.String())
+	}
+	return out
+}
+
+// JoinQueries generates n composite-key equi-join queries between T and
+// U with randomized join flavor, residual predicates, and LIMIT tails.
+func JoinQueries(seed int64, n int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		join := "JOIN"
+		if rng.Intn(3) == 0 {
+			join = "LEFT JOIN"
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "SELECT T.id, U.w FROM T %s U ON T.num = U.k1 AND T.txt = U.k2", join)
+		if rng.Intn(2) == 0 && join == "JOIN" {
+			b.WriteString(" WHERE " + RandomPredicate(rng, JoinCols))
+		}
+		if rng.Intn(2) == 0 {
+			fmt.Fprintf(&b, " ORDER BY T.id LIMIT %d", 1+rng.Intn(30))
+		}
+		out = append(out, b.String())
+	}
+	return out
+}
+
+// RandomLiteral renders a random comparison bound: integers, halves,
+// text (plain and numeric-looking), and the occasional NULL (which no
+// probe may claim and no row may pass).
+func RandomLiteral(rng *rand.Rand) string {
+	switch rng.Intn(8) {
+	case 0:
+		return fmt.Sprintf("%.1f", float64(rng.Intn(21)-5)/2)
+	case 1:
+		return "'" + []string{"a", "b", "m", "z", "5", "mm"}[rng.Intn(6)] + "'"
+	case 2:
+		return "NULL"
+	default:
+		return fmt.Sprint(rng.Intn(14) - 3)
+	}
+}
+
+// RandomPredicate renders one conjunct over the given columns,
+// including the literal-first comparison spelling that exercises the
+// CacheKey orientation rule.
+func RandomPredicate(rng *rand.Rand, cols []string) string {
+	col := cols[rng.Intn(len(cols))]
+	switch rng.Intn(8) {
+	case 0: // literal-first spelling
+		op := []string{"<", "<=", ">", ">=", "="}[rng.Intn(5)]
+		return RandomLiteral(rng) + " " + op + " " + col
+	case 1:
+		not := ""
+		if rng.Intn(3) == 0 {
+			not = "NOT "
+		}
+		return fmt.Sprintf("%s %sBETWEEN %s AND %s", col, not, RandomLiteral(rng), RandomLiteral(rng))
+	case 2:
+		return col + " IS NOT NULL"
+	default:
+		op := []string{"<", "<=", ">", ">=", "=", "!="}[rng.Intn(6)]
+		return col + " " + op + " " + RandomLiteral(rng)
+	}
+}

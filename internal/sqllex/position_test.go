@@ -1,0 +1,183 @@
+package sqllex
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestLexPositionsAfterStrings pins Pos to byte offsets in the original
+// input for every token, with string literals (escaped and not) in
+// front of them. The escaped-literal cases are the regression the
+// rewrite fixes for error reporting: a literal's Text is shorter than
+// the source span it covers, so any scheme deriving offsets from
+// accumulated text lengths drifts after the first ”.
+func TestLexPositionsAfterStrings(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		want  []Token
+	}{
+		{
+			name:  "after plain string",
+			input: "SELECT 'x', name",
+			want: []Token{
+				{TokKeyword, "SELECT", 0},
+				{TokString, "x", 7},
+				{TokOp, ",", 10},
+				{TokIdent, "name", 12},
+				{TokEOF, "", 16},
+			},
+		},
+		{
+			name:  "after escaped string",
+			input: "SELECT 'O''Brien', name",
+			want: []Token{
+				{TokKeyword, "SELECT", 0},
+				{TokString, "O'Brien", 7},
+				{TokOp, ",", 17},
+				{TokIdent, "name", 19},
+				{TokEOF, "", 23},
+			},
+		},
+		{
+			name:  "after doubled escapes",
+			input: "WHERE a = '''' AND b = ''''''",
+			want: []Token{
+				{TokKeyword, "WHERE", 0},
+				{TokIdent, "a", 6},
+				{TokOp, "=", 8},
+				{TokString, "'", 10},
+				{TokKeyword, "AND", 15},
+				{TokIdent, "b", 19},
+				{TokOp, "=", 21},
+				{TokString, "''", 23},
+				{TokEOF, "", 29},
+			},
+		},
+		{
+			name:  "after quoted identifiers",
+			input: "SELECT `a b`, \"c\" FROM t",
+			want: []Token{
+				{TokKeyword, "SELECT", 0},
+				{TokIdent, "a b", 7},
+				{TokOp, ",", 12},
+				{TokIdent, "c", 14},
+				{TokKeyword, "FROM", 18},
+				{TokIdent, "t", 23},
+				{TokEOF, "", 24},
+			},
+		},
+		{
+			name:  "empty string then operator",
+			input: "'' = x",
+			want: []Token{
+				{TokString, "", 0},
+				{TokOp, "=", 3},
+				{TokIdent, "x", 5},
+				{TokEOF, "", 6},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			toks, err := Lex(tc.input)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(toks) != len(tc.want) {
+				t.Fatalf("got %d tokens, want %d: %+v", len(toks), len(tc.want), toks)
+			}
+			for i, w := range tc.want {
+				if toks[i] != w {
+					t.Errorf("token %d = %+v, want %+v", i, toks[i], w)
+				}
+			}
+		})
+	}
+}
+
+// TestLexErrorOffsets pins the typed *Error offsets. The unterminated
+// cases are the headline fix: the seed lexer reported the opening
+// quote's offset, which pointed users at a perfectly fine quote instead
+// of the place the input ran out.
+func TestLexErrorOffsets(t *testing.T) {
+	cases := []struct {
+		name       string
+		input      string
+		wantOffset int
+		wantMsg    string // substring of the rendered error
+	}{
+		{"unterminated at end", "SELECT 'oops", 12, "opened at offset 7"},
+		{"unterminated after escape", "SELECT 'a''b", 12, "opened at offset 7"},
+		{"unterminated after full literal", "SELECT 'ok', 'oops", 18, "opened at offset 13"},
+		{"unexpected bang after string", "SELECT 'x' ! 1", 11, "unexpected '!'"},
+		{"unexpected byte after string", "SELECT 'x' ? 1", 11, `unexpected byte '?'`},
+		{"unexpected byte after escaped string", "SELECT 'a''b' ? 1", 14, `unexpected byte '?'`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Lex(tc.input)
+			if err == nil {
+				t.Fatal("want error")
+			}
+			var lexErr *Error
+			if !errors.As(err, &lexErr) {
+				t.Fatalf("error %T is not *sqllex.Error", err)
+			}
+			if lexErr.Offset != tc.wantOffset {
+				t.Errorf("Offset = %d, want %d (%v)", lexErr.Offset, tc.wantOffset, err)
+			}
+			if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Errorf("error %q does not mention %q", err, tc.wantMsg)
+			}
+		})
+	}
+}
+
+// TestKeywordBuckets exhaustively checks the length-bucketed fold
+// against the map-based classifier for every keyword in lower, UPPER
+// and Mixed case, plus near-miss identifiers that differ from a
+// keyword in exactly one byte.
+func TestKeywordBuckets(t *testing.T) {
+	for kw := range keywords {
+		for _, v := range []string{kw, strings.ToLower(kw), kw[:1] + strings.ToLower(kw[1:])} {
+			got, ok := keywordOf(v)
+			if !ok || got != kw {
+				t.Errorf("keywordOf(%q) = %q, %v; want %q, true", v, got, ok, kw)
+			}
+		}
+		for _, miss := range []string{kw + "X", kw[:len(kw)-1], kw[:len(kw)-1] + "_"} {
+			if keywords[miss] {
+				continue // truncation landed on another keyword (ASC -> AS)
+			}
+			if got, ok := keywordOf(miss); ok {
+				t.Errorf("keywordOf(%q) = %q, true; want miss", miss, got)
+			}
+		}
+	}
+	// The fold must not accept bytes 32 below a letter (e.g. '%' vs 'E').
+	if _, ok := keywordOf("B%"); ok {
+		t.Error(`keywordOf("B%") matched BY via unchecked +32 fold`)
+	}
+}
+
+// TestLexIntoReuse proves the warm path allocates nothing: tokens
+// sub-slice the input and the buffer is caller-owned.
+func TestLexIntoReuse(t *testing.T) {
+	const q = "SELECT t.name, count(*) FROM people AS t WHERE t.age >= 21 GROUP BY t.name ORDER BY count(*) DESC LIMIT 5"
+	buf, err := LexInto(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		var e error
+		buf, e = LexInto(q, buf[:0])
+		if e != nil {
+			t.Fatal(e)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm LexInto allocates %.1f/op, want 0", allocs)
+	}
+}

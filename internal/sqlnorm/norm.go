@@ -39,140 +39,15 @@ func EMEqual(a, b *sqlast.SelectStmt) bool {
 	return Canonical(a) == Canonical(b)
 }
 
-// CacheKey returns a value-preserving canonical rendering of stmt, meant
-// for keying compiled-plan caches: identifier case folds, the deterministic
-// re-rendering normalizes whitespace, and commutative WHERE conjuncts sort
-// — but, unlike Canonical, literal values, projection order, aliases, and
-// LIMIT/OFFSET are all kept, because plans compiled from statements that
-// differ in any of those are not interchangeable. A compiled plan also
-// embeds its output column labels with the original identifier case, so
-// the key carries the unfolded projection labels: two statements share a
-// CacheKey only when a shared plan is observably identical, labels
-// included. Textually identical statements (the common case: the same
-// candidate SQL resurfacing in a different beam) always share a CacheKey.
-func CacheKey(stmt *sqlast.SelectStmt) string {
-	out := stmt.Clone()
-	for _, core := range out.Cores {
-		cacheNormalizeCore(core)
-	}
-	var b strings.Builder
-	b.WriteString(out.SQL())
-	for _, core := range stmt.Cores {
-		for _, it := range core.Items {
-			b.WriteByte('\x00')
-			switch {
-			case it.Alias != "":
-				b.WriteString(it.Alias)
-			case it.Star:
-				// Star expansion labels come from the (already lowered)
-				// stored column names, so stars are case-independent.
-			default:
-				b.WriteString(sqlast.ExprSQL(it.Expr))
-			}
-		}
-	}
-	return b.String()
-}
-
-func cacheNormalizeCore(core *sqlast.SelectCore) {
-	foldIdentifierCase(core)
-	orientComparisons(core)
-	// Normalize nested statements before sorting the outer conjuncts: the
-	// sort compares rendered SQL, so subqueries must already be in their
-	// canonical spelling or case-variant subqueries would order conjuncts
-	// differently and miss the shared key.
-	for _, sub := range core.Subqueries() {
-		for _, c := range sub.Cores {
-			cacheNormalizeCore(c)
-		}
-	}
-	conj := sqlast.Conjuncts(core.Where)
-	sort.SliceStable(conj, func(i, j int) bool {
-		return sqlast.ExprSQL(conj[i]) < sqlast.ExprSQL(conj[j])
-	})
-	core.Where = sqlast.FromAnd(conj)
-}
-
-// flippedCmp maps each comparison operator to its operand-swapped spelling.
+// flippedCmp maps each comparison operator to its operand-swapped
+// spelling; the CacheKey renderer (cachekey.go) uses it to orient
+// literal-first comparisons — "5 > a" renders as "a < 5" — so range and
+// equality predicates hit the same cache key regardless of operand
+// order. The executor lowers both spellings into the same probes, so
+// the shared plan is observably identical.
 var flippedCmp = map[string]string{
 	"=": "=", "!=": "!=", "<>": "<>",
 	"<": ">", "<=": ">=", ">": "<", ">=": "<=",
-}
-
-// orientComparisons rewrites literal-first comparisons in predicate
-// positions (WHERE, HAVING, ON) into the column-first spelling — "5 > a"
-// becomes "a < 5" — so range and equality predicates hit the same cache
-// key regardless of operand order. The executor lowers both spellings into
-// the same probes and evaluates both to the same tri-state verdict, so the
-// shared plan is observably identical. Projection items are left alone:
-// their rendered SQL doubles as the output column label, which is
-// observable.
-func orientComparisons(core *sqlast.SelectCore) {
-	orient := func(e sqlast.Expr) {
-		sqlast.WalkExpr(e, func(e sqlast.Expr) bool {
-			b, ok := e.(*sqlast.Binary)
-			if !ok {
-				return true
-			}
-			flipped, cmp := flippedCmp[b.Op]
-			if !cmp {
-				return true
-			}
-			if _, lLit := b.L.(*sqlast.Literal); !lLit {
-				return true
-			}
-			if _, rLit := b.R.(*sqlast.Literal); rLit {
-				return true // constant comparison: nothing to orient around
-			}
-			b.L, b.R, b.Op = b.R, b.L, flipped
-			return true
-		})
-	}
-	orient(core.Where)
-	orient(core.Having)
-	if core.From != nil {
-		for i := range core.From.Joins {
-			orient(core.From.Joins[i].On)
-		}
-	}
-}
-
-// foldIdentifierCase lower-cases table, alias, and column identifiers in
-// place without renaming, reordering, or masking anything. Literal text
-// values keep their case: 'Boston' and 'boston' are different queries.
-func foldIdentifierCase(core *sqlast.SelectCore) {
-	lower := func(e sqlast.Expr) {
-		sqlast.WalkExpr(e, func(e sqlast.Expr) bool {
-			if cr, ok := e.(*sqlast.ColumnRef); ok {
-				cr.Table = strings.ToLower(cr.Table)
-				cr.Column = strings.ToLower(cr.Column)
-			}
-			return true
-		})
-	}
-	if core.From != nil {
-		core.From.Base.Name = strings.ToLower(core.From.Base.Name)
-		core.From.Base.Alias = strings.ToLower(core.From.Base.Alias)
-		for i := range core.From.Joins {
-			j := &core.From.Joins[i]
-			j.Table.Name = strings.ToLower(j.Table.Name)
-			j.Table.Alias = strings.ToLower(j.Table.Alias)
-			lower(j.On)
-		}
-	}
-	for i := range core.Items {
-		lower(core.Items[i].Expr)
-		core.Items[i].Alias = strings.ToLower(core.Items[i].Alias)
-		core.Items[i].TableStar = strings.ToLower(core.Items[i].TableStar)
-	}
-	lower(core.Where)
-	lower(core.Having)
-	for _, g := range core.GroupBy {
-		lower(g)
-	}
-	for i := range core.OrderBy {
-		lower(core.OrderBy[i].Expr)
-	}
 }
 
 func normalizeCore(core *sqlast.SelectCore) {

@@ -1,0 +1,110 @@
+package sqlparse
+
+// slab is a chunked arena for AST nodes of one concrete type. Nodes are
+// appended into fixed-capacity chunks, so element addresses are stable
+// for the life of the chunk — handing out *T into a chunk is safe even
+// as the slab grows. A slab supports two end-of-parse fates:
+//
+//   - reset: chunk memory is retained and reused by the next statement.
+//     Everything previously allocated is invalidated (the bytes will be
+//     overwritten), which is why arena-reuse parsing is only exposed
+//     through the explicit Parser API with its documented lifetime rule.
+//   - detach: the slab forgets its chunks. The parsed AST keeps the
+//     backing arrays alive through its own pointers, so the nodes live
+//     as long as the statement does and the next parse starts on fresh
+//     chunks. This is the fate behind the package-level Parse.
+//
+// Compared to one heap allocation per node, a warm reset slab performs
+// zero allocations and a detached slab performs one per chunk (dozens
+// of nodes), which is where the front end's allocation budget goes from
+// O(nodes) to O(1)-ish.
+type slab[T any] struct {
+	chunks [][]T // chunks[:live] are in use; chunks[live:] are spares kept by reset
+	live   int
+}
+
+// slabChunkElems is the steady-state per-chunk element count. Large
+// enough that a typical dev-set statement fits each node type in one
+// chunk once the slab has warmed up.
+const slabChunkElems = 32
+
+// slabFirstChunkElems sizes a slab's very first chunk. Most node types
+// appear a handful of times per statement (one SelectCore, a few joins),
+// so a detached parse — which starts every slab from empty — would
+// strand ~kilobytes per statement if first chunks were full-sized.
+const slabFirstChunkElems = 4
+
+// slabMaxSpares bounds how many empty chunks reset retains per slab, so
+// one pathological statement doesn't pin its high-water mark forever in
+// a pooled parser.
+const slabMaxSpares = 4
+
+// alloc returns a pointer to a zeroed T with a stable address.
+func (s *slab[T]) alloc() *T {
+	if s.live == 0 || len(s.chunks[s.live-1]) == cap(s.chunks[s.live-1]) {
+		s.grow(1)
+	}
+	c := &s.chunks[s.live-1]
+	var zero T
+	*c = append(*c, zero)
+	return &(*c)[len(*c)-1]
+}
+
+// allocSlice copies src into the arena and returns the copy with exact
+// length and capacity, so appending to the result can never clobber a
+// neighboring allocation. Empty input returns nil — the AST convention
+// (and reflect.DeepEqual) distinguish nil from empty slices.
+func (s *slab[T]) allocSlice(src []T) []T {
+	if len(src) == 0 {
+		return nil
+	}
+	if s.live == 0 || cap(s.chunks[s.live-1])-len(s.chunks[s.live-1]) < len(src) {
+		s.grow(len(src))
+	}
+	c := &s.chunks[s.live-1]
+	start := len(*c)
+	*c = append(*c, src...)
+	return (*c)[start : start+len(src) : start+len(src)]
+}
+
+func (s *slab[T]) grow(minElems int) {
+	if s.live < len(s.chunks) {
+		// A spare chunk from an earlier reset; recycle if it is big enough.
+		if cap(s.chunks[s.live]) >= minElems {
+			s.chunks[s.live] = s.chunks[s.live][:0]
+			s.live++
+			return
+		}
+	}
+	size := slabChunkElems
+	if len(s.chunks) == 0 {
+		size = slabFirstChunkElems
+	}
+	if minElems > size {
+		size = minElems
+	}
+	s.chunks = append(s.chunks, make([]T, 0, size))
+	// Keep the fresh chunk at position live even when spares exist but
+	// were too small.
+	s.chunks[s.live], s.chunks[len(s.chunks)-1] = s.chunks[len(s.chunks)-1], s.chunks[s.live]
+	s.live++
+}
+
+// reset invalidates all allocations, retaining at most slabMaxSpares
+// chunks of memory for the next statement.
+func (s *slab[T]) reset() {
+	if len(s.chunks) > slabMaxSpares {
+		s.chunks = s.chunks[:slabMaxSpares]
+	}
+	for i := range s.chunks {
+		s.chunks[i] = s.chunks[i][:0]
+	}
+	s.live = 0
+}
+
+// detach transfers ownership of every chunk to the allocations made so
+// far: the slab forgets them and the AST's own pointers keep them alive.
+func (s *slab[T]) detach() {
+	s.chunks = nil
+	s.live = 0
+}

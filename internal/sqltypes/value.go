@@ -143,6 +143,33 @@ func (v Value) SQLLiteral() string {
 	return v.String()
 }
 
+// AppendSQLLiteral appends SQLLiteral's exact rendering to dst without
+// materializing intermediate strings; it is the literal path of the
+// one-pass sqlnorm.CacheKey renderer.
+func (v Value) AppendSQLLiteral(dst []byte) []byte {
+	switch v.kind {
+	case KindNull:
+		return append(dst, "NULL"...)
+	case KindInt:
+		return strconv.AppendInt(dst, v.i, 10)
+	case KindFloat:
+		return strconv.AppendFloat(dst, v.f, 'g', -1, 64)
+	case KindText:
+		dst = append(dst, '\'')
+		for i := 0; i < len(v.s); i++ {
+			c := v.s[i]
+			if c == '\'' {
+				dst = append(dst, '\'', '\'')
+			} else {
+				dst = append(dst, c)
+			}
+		}
+		return append(dst, '\'')
+	default:
+		return append(dst, '?')
+	}
+}
+
 // Key returns a canonical string usable as a map key for bag semantics.
 // Integral REAL values collapse onto their INTEGER spelling so that
 // count(*) = 2 and 2.0 compare equal, matching the Spider evaluation script.
