@@ -8,6 +8,10 @@
 //	explain -db flight_2 -sql "SELECT count(*) FROM flight AS T1 JOIN aircraft AS T2 ON T1.aid = T2.aid WHERE T2.name = 'Airbus A340-300'"
 //	explain -db world_1 -row 2 -sql "SELECT name FROM country WHERE continent = 'Europe'"
 //
+// -plan additionally prints the executor's EXPLAIN plan tree — the access
+// paths and join strategies the cost-based planner chose, with estimated
+// and actual row counts per operator.
+//
 // SIGINT (^C) or SIGTERM aborts the run cleanly — execution, provenance
 // tracking and explanation all honor the cancellation — with exit code
 // 130.
@@ -44,6 +48,7 @@ func main() {
 	sql := flag.String("sql", "", "SQL query to explain")
 	row := flag.Int("row", 0, "result row to explain (0-based)")
 	polish := flag.Bool("polish", true, "apply the rule-based polishing model")
+	showPlan := flag.Bool("plan", false, "print the EXPLAIN plan tree (estimated vs actual rows)")
 	flag.Parse()
 	if *sql == "" {
 		fmt.Fprintln(os.Stderr, "usage: explain -db <name> -sql <query> [-row N]")
@@ -70,7 +75,16 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	rel, err := sqleval.New(db).ExecContext(ctx, stmt)
+	exec := sqleval.New(db)
+	if *showPlan {
+		tree, err := exec.ExplainPlan(ctx, stmt)
+		if err != nil {
+			fail(ctx, err)
+		}
+		fmt.Println("Plan:")
+		fmt.Print(tree)
+	}
+	rel, err := exec.ExecContext(ctx, stmt)
 	if err != nil {
 		fail(ctx, err)
 	}

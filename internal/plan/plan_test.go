@@ -1,0 +1,58 @@
+package plan
+
+import "testing"
+
+func TestRender(t *testing.T) {
+	tree := &Tree{Root: &Node{
+		Kind: "project", EstRows: 4, ActRows: 4, ActPairs: -1,
+		Children: []*Node{{
+			Kind: "join", Label: "A.aid = F.aid", Detail: "index build",
+			EstRows: 120.5, ActRows: 118, ActPairs: 118,
+			Children: []*Node{
+				{Kind: "probe", Label: "Aircraft.name = 'Boeing'", EstRows: 1, ActRows: 1, ActPairs: -1},
+				{Kind: "scan", Label: "Flight", EstRows: -1, ActRows: 600, ActPairs: -1},
+			},
+		}},
+	}}
+	want := `project (est=4 act=4)
+└─ join A.aid = F.aid [index build] (est=120.50 act=118 pairs=118)
+   ├─ probe Aircraft.name = 'Boeing' (est=1 act=1)
+   └─ scan Flight (est=? act=600)
+`
+	if got := tree.Render(); got != want {
+		t.Fatalf("Render mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRenderDeepNesting(t *testing.T) {
+	tree := &Tree{Root: &Node{
+		Kind: "compound", Label: "UNION", EstRows: -1, ActRows: 3, ActPairs: -1,
+		Children: []*Node{
+			{Kind: "project", EstRows: -1, ActRows: 2, ActPairs: -1,
+				Children: []*Node{{Kind: "scan", Label: "T", EstRows: 10, ActRows: 10, ActPairs: -1}}},
+			{Kind: "project", EstRows: -1, ActRows: 1, ActPairs: -1,
+				Children: []*Node{{Kind: "scan", Label: "U", EstRows: 7, ActRows: 7, ActPairs: -1}}},
+		},
+	}}
+	want := `compound UNION (est=? act=3)
+├─ project (est=? act=2)
+│  └─ scan T (est=10 act=10)
+└─ project (est=? act=1)
+   └─ scan U (est=7 act=7)
+`
+	if got := tree.Render(); got != want {
+		t.Fatalf("Render mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestEstFormatting(t *testing.T) {
+	cases := []struct {
+		est  float64
+		want string
+	}{{-1, "?"}, {0, "0"}, {3, "3"}, {1.0 / 3 * 9, "3"}, {0.5, "0.50"}, {1234.25, "1234.25"}}
+	for _, c := range cases {
+		if got := fmtEst(c.est); got != c.want {
+			t.Errorf("fmtEst(%v) = %q, want %q", c.est, got, c.want)
+		}
+	}
+}

@@ -36,6 +36,9 @@ import (
 	"cyclesql/internal/experiments"
 	"cyclesql/internal/nl2sql"
 	"cyclesql/internal/nli"
+	"cyclesql/internal/sqleval"
+	"cyclesql/internal/sqlparse"
+	"cyclesql/internal/storage"
 )
 
 // Config assembles a Server. Bench and Verifier are required; zero
@@ -126,6 +129,10 @@ type TranslateRequest struct {
 	Beam int `json:"beam,omitempty"`
 	// TimeoutMillis optionally shortens the server's request budget.
 	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+	// Explain requests the EXPLAIN plan tree of the final SQL — the access
+	// paths and join strategies the cost-based planner chose against this
+	// request's snapshot, with estimated and actual row counts per operator.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // TranslateResponse is the success body: the loop's verdict plus the
@@ -141,6 +148,10 @@ type TranslateResponse struct {
 	Candidates     int    `json:"candidates"`
 	SnapshotEpoch  uint64 `json:"snapshot_epoch"`
 	OverheadMicros int64  `json:"overhead_us"`
+	// Plan is the rendered EXPLAIN plan tree of the final SQL, present only
+	// when the request set "explain": true and the final SQL re-planned
+	// cleanly (plan failures never fail a translation that succeeded).
+	Plan string `json:"plan,omitempty"`
 }
 
 // ErrorResponse is the envelope every non-2xx response carries.
@@ -332,7 +343,27 @@ func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
 		Candidates:     len(res.Candidates),
 		SnapshotEpoch:  snap.Epoch(),
 		OverheadMicros: res.Overhead.Microseconds(),
+		Plan:           s.explainPlan(ctx, req, res.FinalSQL, snap),
 	})
+}
+
+// explainPlan renders the final SQL's plan against the request's pinned
+// snapshot when the request asked for it. Best-effort on purpose: a
+// translation that verified must not turn into an error because its plan
+// could not be rendered, so any failure here just omits the field.
+func (s *Server) explainPlan(ctx context.Context, req TranslateRequest, finalSQL string, snap *storage.Snapshot) string {
+	if !req.Explain || finalSQL == "" {
+		return ""
+	}
+	stmt, err := sqlparse.Parse(finalSQL)
+	if err != nil {
+		return ""
+	}
+	plan, err := sqleval.New(snap.DB()).ExplainPlan(ctx, stmt)
+	if err != nil {
+		return ""
+	}
+	return plan
 }
 
 // finishCancelled maps a dead request context to its terminal response:

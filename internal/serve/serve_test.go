@@ -410,3 +410,38 @@ func TestClientDisconnectAbortsWork(t *testing.T) {
 	t.Fatalf("disconnect not drained: inflight=%d canceled=%d",
 		srv.metrics.inflight.Load(), srv.metrics.canceled.Load())
 }
+
+// TestTranslateExplain exercises the explain field: a request with
+// "explain": true answers with the final SQL's rendered plan tree —
+// access paths with estimated and actual row counts, planned against the
+// request's pinned snapshot — while requests without it omit the field.
+func TestTranslateExplain(t *testing.T) {
+	bench := isolatedBench(t, "world_1")
+	ts := newTestServer(t, Config{Bench: bench})
+	q := "How many countries are in Africa?"
+
+	status, _, body := post(t, ts, "/v1/world_1/translate",
+		fmt.Sprintf(`{"question": %q, "explain": true}`, q))
+	if status != 200 {
+		t.Fatalf("status = %d: %s", status, body)
+	}
+	var got TranslateResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Plan == "" {
+		t.Fatalf("explain request answered without a plan: %s", body)
+	}
+	if !strings.Contains(got.Plan, "est=") || !strings.Contains(got.Plan, "act=") {
+		t.Fatalf("plan lacks estimate/actual annotations:\n%s", got.Plan)
+	}
+
+	status, _, body = post(t, ts, "/v1/world_1/translate",
+		fmt.Sprintf(`{"question": %q}`, q))
+	if status != 200 {
+		t.Fatalf("status = %d: %s", status, body)
+	}
+	if bytes.Contains(body, []byte(`"plan"`)) {
+		t.Fatalf("plan field must be omitted when not requested: %s", body)
+	}
+}

@@ -227,6 +227,64 @@ func TestIndexAllocRegressionGate(t *testing.T) {
 	}
 }
 
+// TestStatsInsertAllocGate bounds what statistics cost the Insert hot
+// path. The planner's statistics are derived from the hash and sorted
+// indexes (NonNull rides the existing index add paths as a counter
+// increment, Min/Max read the sorted index's ends), so:
+//
+//   - reading statistics off warm indexes must be allocation-free, and
+//   - inserting into a table with warm stats-backing indexes may cost at
+//     most the pre-existing inline index maintenance (3 allocations per
+//     hash+sorted column pair: the compare key, its bucket append, and
+//     the sorted position insert) plus a 1 alloc/op statistics budget.
+//
+// Amortized slice growth inside the add paths is averaged out by
+// AllocsPerRun.
+func TestStatsInsertAllocGate(t *testing.T) {
+	const cols = 3
+	measure := func(warm bool) float64 {
+		db := benchDB(t, 400, 0)
+		if warm {
+			// Build the indexes ColStats reads (hash + sorted per column) the
+			// same way a cost-based compile would.
+			for col := 0; col < cols; col++ {
+				if _, ok := db.ColStats("Aircraft", col); !ok {
+					t.Fatal("ColStats must succeed on Aircraft")
+				}
+			}
+		}
+		next := int64(10_000)
+		return testing.AllocsPerRun(200, func() {
+			db.MustInsert("Aircraft",
+				sqltypes.NewInt(next),
+				sqltypes.NewText("Inserted"),
+				sqltypes.NewInt(next%9000))
+			next++
+		})
+	}
+	cold, warm := measure(false), measure(true)
+	if budget := cold + 3*cols + 1; warm > budget {
+		t.Errorf("insert with warm stats indexes allocates %.2f/op (cold %.2f/op, budget %.2f/op) — statistics must add <=1 alloc/op over index maintenance", warm, cold, budget)
+	}
+	t.Logf("insert allocs/op: cold=%.2f warm-stats=%.2f", cold, warm)
+
+	// Reads use the already-lower-cased name: ToLower on a mixed-case name
+	// is the only allocation ColStats can make once the indexes are warm.
+	db := benchDB(t, 400, 0)
+	for col := 0; col < cols; col++ {
+		db.ColStats("aircraft", col) // warm the lazily built indexes
+	}
+	if reads := testing.AllocsPerRun(100, func() {
+		for col := 0; col < cols; col++ {
+			if _, ok := db.ColStats("aircraft", col); !ok {
+				t.Fatal("ColStats must succeed on aircraft")
+			}
+		}
+	}); reads > 0 {
+		t.Errorf("ColStats on warm indexes allocates %.2f/op, want 0", reads)
+	}
+}
+
 // BenchmarkExecWhere measures a filtered single-table scan.
 func BenchmarkExecWhere(b *testing.B) {
 	benchExec(b, "SELECT name FROM aircraft WHERE distance > 3000", 400, 0)

@@ -8,6 +8,7 @@ import (
 
 	"cyclesql/internal/sqlast"
 	"cyclesql/internal/sqltypes"
+	"cyclesql/internal/stats"
 )
 
 // This file implements the compile phase: it resolves every column
@@ -80,10 +81,14 @@ type groupRows struct {
 type compiledExpr func(ctx *rowCtx) (sqltypes.Value, error)
 
 // program is a fully compiled statement: one compiled core per SELECT core
-// plus the set operations combining them.
+// plus the set operations combining them. nodes counts the plan-node ids
+// the compiler assigned across the whole statement (joins, scans, filters,
+// outputs — including subqueries), sizing the trace arrays ExplainPlan
+// records actual row counts into.
 type program struct {
 	cores []*compiledCore
 	ops   []sqlast.CompoundOp
+	nodes int
 }
 
 // columns returns the output column labels (those of the first core, as
@@ -108,6 +113,12 @@ type compiledCore struct {
 	stream *streamPlan
 	hasAgg bool
 	width  int
+	// id is the core's output plan node, filterID the post-join filter
+	// stage's (-1 when the core has no post-join filters); est is the
+	// cost-based estimate of the core's output rows (-1 outside cost mode).
+	id       int
+	filterID int
+	est      float64
 }
 
 func (cc *compiledCore) labels() []string {
@@ -132,13 +143,17 @@ type tableScan struct {
 	rprobe *rangeProbe        // optional range probe on a base table
 	offset int
 	width  int
+	id     int     // plan node id
+	est    float64 // cost-based estimate of emitted rows; -1 outside cost mode
 }
 
 // scanProbe is a compiled point lookup: the column offset within the
-// table's own row and the precomputed index key of the literal.
+// table's own row and the precomputed index key of the literal. val keeps
+// the probed literal itself for plan rendering.
 type scanProbe struct {
 	col int
 	key []byte
+	val sqltypes.Value
 }
 
 // rangeProbe is a compiled range lookup on one column of a base table:
@@ -166,6 +181,9 @@ func (ts *tableScan) rows(ctx context.Context, ex *Executor, outer *rowCtx, dept
 		if err != nil {
 			return nil, false, err
 		}
+		if ex.trace != nil {
+			ex.trace.addRows(ts.id, int64(len(rel.Rows)))
+		}
 		return rel.Rows, true, nil
 	}
 	if ts.probe != nil {
@@ -173,6 +191,9 @@ func (ts *tableScan) rows(ctx context.Context, ex *Executor, outer *rowCtx, dept
 		matched := make([]sqltypes.Row, len(ids))
 		for i, ri := range ids {
 			matched[i] = ts.rel.Rows[ri]
+		}
+		if ex.trace != nil {
+			ex.trace.addRows(ts.id, int64(len(matched)))
 		}
 		return matched, true, nil
 	}
@@ -189,7 +210,13 @@ func (ts *tableScan) rows(ctx context.Context, ex *Executor, outer *rowCtx, dept
 		for i, ri := range ids {
 			matched[i] = ts.rel.Rows[ri]
 		}
+		if ex.trace != nil {
+			ex.trace.addRows(ts.id, int64(len(matched)))
+		}
 		return matched, true, nil
+	}
+	if ex.trace != nil {
+		ex.trace.addRows(ts.id, int64(len(ts.rel.Rows)))
 	}
 	return ts.rel.Rows, false, nil
 }
@@ -203,6 +230,13 @@ type joinPlan struct {
 	eqAcc    []int
 	eqNew    []int
 	residual []compiledExpr
+	id       int     // plan node id
+	est      float64 // cost-based estimate of emitted rows; -1 outside cost mode
+	estPairs float64 // cost-based estimate of candidate pairs; -1 outside cost mode
+	// reuse marks joins whose build side is a whole base table, so
+	// execution probes the table's (composite) index instead of hashing a
+	// side per execution; recorded for plan rendering.
+	reuse bool
 }
 
 // compiledItem is one output column: its label, the rendered SQL of its
@@ -224,9 +258,25 @@ type orderKey struct {
 
 // compiler lowers statements for one executor. The executor binding is
 // what lets base-table scans resolve to live relations at compile time.
+// nodes hands out plan-node ids, unique across the whole statement.
 type compiler struct {
 	ex    *Executor
 	depth int
+	nodes int
+}
+
+func (c *compiler) nextNode() int {
+	id := c.nodes
+	c.nodes++
+	return id
+}
+
+// costMode reports whether this compilation chooses access paths by
+// estimated selectivity (the default). The Syntactic flag reverts to the
+// pre-statistics first-come lowering; the diagnostic path restrictions
+// (NoIndexes, NestedLoopOnly) have no probes to choose among.
+func (c *compiler) costMode() bool {
+	return !c.ex.Syntactic && !c.ex.NoIndexes && !c.ex.NestedLoopOnly
 }
 
 func (c *compiler) compileStmt(stmt *sqlast.SelectStmt, parent *scope) (*program, error) {
@@ -249,8 +299,24 @@ func (c *compiler) compileStmt(stmt *sqlast.SelectStmt, parent *scope) (*program
 	return p, nil
 }
 
+// compileCore lowers one SELECT core and, in cost mode, considers
+// replacing a top-level all-inner join order with a cheaper one (see
+// reorderCore for the — deliberately narrow — eligibility class).
 func (c *compiler) compileCore(core *sqlast.SelectCore, parent *scope) (*compiledCore, error) {
-	cc := &compiledCore{core: core}
+	cc, err := c.lowerCore(core, parent)
+	if err != nil {
+		return nil, err
+	}
+	if c.costMode() && c.depth == 1 && parent == nil {
+		if re := c.reorderCore(cc, core); re != nil {
+			return re, nil
+		}
+	}
+	return cc, nil
+}
+
+func (c *compiler) lowerCore(core *sqlast.SelectCore, parent *scope) (*compiledCore, error) {
+	cc := &compiledCore{core: core, est: -1, filterID: -1}
 	sc := &scope{parent: parent}
 	allInner := true
 	if core.From != nil {
@@ -264,6 +330,8 @@ func (c *compiler) compileCore(core *sqlast.SelectCore, parent *scope) (*compile
 				return nil, err
 			}
 			ts.offset = sc.width
+			ts.id = c.nextNode()
+			ts.est = -1
 			sc.bindings = append(sc.bindings, scopeBinding{
 				name:   strings.ToLower(ref.Effective()),
 				cols:   cols,
@@ -283,6 +351,8 @@ func (c *compiler) compileCore(core *sqlast.SelectCore, parent *scope) (*compile
 				if jp.left {
 					allInner = false
 				}
+				jp.id = c.nextNode()
+				jp.est, jp.estPairs = -1, -1
 				cc.joins = append(cc.joins, jp)
 			}
 		}
@@ -303,19 +373,36 @@ func (c *compiler) compileCore(core *sqlast.SelectCore, parent *scope) (*compile
 	// through pushdown/filtering in its original order.
 	conjs := sqlast.Conjuncts(core.Where)
 	claimed := make([]bool, len(conjs))
-	for i, conj := range conjs {
-		claimed[i] = c.probeConjunct(cc, sc, conj, allInner)
-	}
-	if allInner && len(cc.scans) > 1 && !c.ex.NestedLoopOnly {
-		for i, conj := range conjs {
-			if !claimed[i] {
-				claimed[i] = c.pushEquiKey(cc, sc, conj)
+	if c.costMode() {
+		// Cost-based lowering claims equi-join keys first — key extraction
+		// is independent of probe choice (a key conjunct is col = col, a
+		// probe candidate col OP literal), and the cost pass needs every
+		// join's complete key set to weigh prefiltering a reused build side
+		// — then selects at most one probe per scan by estimated
+		// selectivity (cost.go) instead of first-come.
+		if allInner && len(cc.scans) > 1 {
+			for i, conj := range conjs {
+				if !claimed[i] {
+					claimed[i] = c.pushEquiKey(cc, sc, conj)
+				}
 			}
 		}
-	}
-	for i, conj := range conjs {
-		if !claimed[i] {
-			claimed[i] = c.rangeConjunct(cc, sc, conj, allInner)
+		c.costProbes(cc, sc, conjs, claimed, allInner)
+	} else {
+		for i, conj := range conjs {
+			claimed[i] = c.probeConjunct(cc, sc, conj, allInner)
+		}
+		if allInner && len(cc.scans) > 1 && !c.ex.NestedLoopOnly {
+			for i, conj := range conjs {
+				if !claimed[i] {
+					claimed[i] = c.pushEquiKey(cc, sc, conj)
+				}
+			}
+		}
+		for i, conj := range conjs {
+			if !claimed[i] {
+				claimed[i] = c.rangeConjunct(cc, sc, conj, allInner)
+			}
 		}
 	}
 	for i, conj := range conjs {
@@ -366,6 +453,22 @@ func (c *compiler) compileCore(core *sqlast.SelectCore, parent *scope) (*compile
 		cc.orderKeys = append(cc.orderKeys, ok)
 	}
 	c.lowerStream(cc, core, sc)
+	if len(cc.filters) > 0 {
+		cc.filterID = c.nextNode()
+		if cc.est >= 0 {
+			// Unclaimed post-join conjuncts keep the default one-sided
+			// selectivity each; the product is the core's output estimate.
+			for range cc.filters {
+				cc.est *= stats.OneSidedFraction
+			}
+		}
+	}
+	cc.id = c.nextNode()
+	for i, jp := range cc.joins {
+		next := cc.scans[i+1]
+		jp.reuse = !c.ex.NoIndexes && !c.ex.NestedLoopOnly &&
+			next.sub == nil && next.probe == nil && next.rprobe == nil && len(jp.eqNew) > 0
+	}
 	return cc, nil
 }
 
@@ -617,7 +720,7 @@ func (c *compiler) probeConjunct(cc *compiledCore, sc *scope, conj sqlast.Expr, 
 	if !ok {
 		return false
 	}
-	ts.probe = &scanProbe{col: idx - ts.offset, key: key}
+	ts.probe = &scanProbe{col: idx - ts.offset, key: key, val: lit.Value}
 	return true
 }
 

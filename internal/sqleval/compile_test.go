@@ -56,11 +56,20 @@ func runBoth(t *testing.T, db *storage.Database, sql string) *sqltypes.Relation 
 	if err != nil {
 		t.Fatalf("nested-loop path %q: %v", sql, err)
 	}
+	synEx := New(db)
+	synEx.Syntactic = true
+	syntactic, err := synEx.Exec(stmt)
+	if err != nil {
+		t.Fatalf("syntactic path %q: %v", sql, err)
+	}
 	if !relEqual(indexed, hash) {
 		t.Fatalf("index and scan paths diverge for %q:\nindexed:\n%s\nscan:\n%s", sql, indexed, hash)
 	}
 	if !relEqual(hash, loop) {
 		t.Fatalf("join paths diverge for %q:\nhash:\n%s\nnested loop:\n%s", sql, hash, loop)
+	}
+	if !relEqual(indexed, syntactic) {
+		t.Fatalf("cost and syntactic planners diverge for %q:\ncost:\n%s\nsyntactic:\n%s", sql, indexed, syntactic)
 	}
 	return hash
 }

@@ -67,7 +67,15 @@ type Executor struct {
 	// plans caches compiled programs by statement identity (the fast path
 	// for re-executing the same AST), plansByKey by canonical SQL, so
 	// textually identical statements arriving as distinct ASTs share one
-	// compiled plan. Both maps hold the same programs.
+	// compiled plan. Both maps hold the same programs. Sharing stays sound
+	// under cost-based planning because sqlnorm.CacheKey canonicalizes the
+	// statement WITH its literals: two statements can only share a key by
+	// having identical literals, hence identical estimated selectivities —
+	// a plan chosen for one is the plan that would be chosen for the other.
+	// Plans are costed against the statistics visible at first compile and
+	// deliberately not re-costed as the database grows; callers that want
+	// fresh plans after bulk loads use a fresh executor (the serving layer
+	// already creates one per snapshot).
 	plans      map[*sqlast.SelectStmt]*program
 	plansByKey map[string]*program
 
@@ -82,6 +90,19 @@ type Executor struct {
 	// path scans Relation.Rows. It exists to verify and benchmark the
 	// indexed paths against the scan paths; set it before the first Exec.
 	NoIndexes bool
+
+	// Syntactic reverts plan selection to the pre-statistics lowering:
+	// first qualifying point probe wins, range probes refuse keyed build
+	// sides, joins stay in FROM order. Every choice the cost-based planner
+	// makes is output-identical to this mode by construction; TestPlanParity
+	// holds it to that. Set before the first Exec.
+	Syntactic bool
+
+	// trace, when non-nil, receives actual row counts keyed by plan-node id
+	// during execution. It is only ever set on the throwaway executor
+	// PlanTree builds for itself, so normal executions — including
+	// concurrent ones — pay a single nil check per recording site.
+	trace *execTrace
 }
 
 // New returns an executor over db.
@@ -167,6 +188,7 @@ func (ex *Executor) compiled(stmt *sqlast.SelectStmt) (*program, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.nodes = c.nodes
 	ex.storePlan(stmt, key, p)
 	return p, nil
 }
@@ -305,11 +327,20 @@ func (ex *Executor) runCore(ctx context.Context, cc *compiledCore, outer *rowCtx
 			}
 		}
 		rows = kept
+		if ex.trace != nil {
+			ex.trace.addRows(cc.filterID, int64(len(rows)))
+		}
 	}
+	var result *sqltypes.Relation
 	if len(cc.groupBy) > 0 || cc.hasAgg {
-		return ex.projectGrouped(ctx, cc, rows, outer, depth)
+		result, err = ex.projectGrouped(ctx, cc, rows, outer, depth)
+	} else {
+		result, err = ex.projectPlain(ctx, cc, rows, outer, depth)
 	}
-	return ex.projectPlain(ctx, cc, rows, outer, depth)
+	if err == nil && ex.trace != nil {
+		ex.trace.addRows(cc.id, int64(len(result.Rows)))
+	}
+	return result, err
 }
 
 // truthyAll reports whether every conjunct evaluates truthy (tri-state AND
@@ -389,15 +420,23 @@ func (ex *Executor) buildFrom(ctx context.Context, cc *compiledCore, outer *rowC
 // (left-major, right rows in scan order) and null-extend unmatched left
 // rows inline for LEFT JOIN, matching rows by index — never by value — so
 // duplicate-valued rows cannot collide.
-func (ex *Executor) execJoin(ctx context.Context, acc []sqltypes.Row, accW int, next *tableScan, right []sqltypes.Row, jp *joinPlan, outer *rowCtx, depth int) ([]sqltypes.Row, error) {
+func (ex *Executor) execJoin(ctx context.Context, acc []sqltypes.Row, accW int, next *tableScan, right []sqltypes.Row, jp *joinPlan, outer *rowCtx, depth int) (out []sqltypes.Row, err error) {
 	outW := accW + next.width
 	scratch := make(sqltypes.Row, outW)
 	rc := &rowCtx{parent: outer, row: scratch, depth: depth, qctx: ctx}
-	var out []sqltypes.Row
 	// One amortized cancellation counter covers every candidate pair
 	// (through tryPair) and every build-side row, so even an n×m nested
 	// loop observes cancellation within cancelCheckInterval pair visits.
 	cancel := cancelCheck{ctx: ctx}
+	var pairs int64
+	if ex.trace != nil {
+		defer func() {
+			if err == nil {
+				ex.trace.addRows(jp.id, int64(len(out)))
+				ex.trace.addPairs(jp.id, pairs)
+			}
+		}()
+	}
 
 	emit := func() {
 		combined := make(sqltypes.Row, outW)
@@ -407,6 +446,7 @@ func (ex *Executor) execJoin(ctx context.Context, acc []sqltypes.Row, accW int, 
 	// tryPair evaluates the residual over scratch (left part already
 	// filled) and emits on success.
 	tryPair := func(rrow sqltypes.Row) (bool, error) {
+		pairs++
 		if err := cancel.poll(); err != nil {
 			return false, err
 		}

@@ -1,0 +1,32 @@
+package sqleval
+
+import (
+	"math/rand"
+	"testing"
+
+	"cyclesql/internal/sqlgen"
+)
+
+// TestPlanParitySQLGen is the property-based half of the plan-parity bar:
+// every query of the shared 480-query sqlgen corpus (400 randomized
+// single-table predicates + 80 randomized composite-key joins) must
+// produce a bit-identical relation through the cost-based planner, the
+// pre-statistics syntactic planner, the index-free executor, and the
+// nested-loop fallback. runBoth checks all four paths; this test exists so
+// the plan-quality gate has a named, greppable parity suite over the full
+// corpus even if the older per-corpus tests are ever narrowed.
+func TestPlanParitySQLGen(t *testing.T) {
+	single := sqlgen.SingleTableQueries(sqlgen.SingleTableSeed, sqlgen.SingleTableCount)
+	join := sqlgen.JoinQueries(sqlgen.JoinSeed, sqlgen.JoinCount)
+	if len(single)+len(join) < 480 {
+		t.Fatalf("sqlgen corpus shrank: %d+%d queries", len(single), len(join))
+	}
+	db := randomDB(t, rand.New(rand.NewSource(sqlgen.SingleTableSeed)))
+	for _, q := range single {
+		runBoth(t, db, q)
+	}
+	db = randomDB(t, rand.New(rand.NewSource(sqlgen.JoinSeed)))
+	for _, q := range join {
+		runBoth(t, db, q)
+	}
+}

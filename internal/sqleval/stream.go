@@ -43,6 +43,7 @@ func (ex *Executor) runStream(ctx context.Context, cc *compiledCore, outer *rowC
 	out := sqltypes.NewRelation(cc.labels()...)
 	cancel := cancelCheck{ctx: ctx}
 	rc := &rowCtx{parent: outer, depth: depth, qctx: ctx}
+	var visited int64
 	// visit filters and projects one row; it reports done when the output
 	// reached the LIMIT target. The pre-check (not just the post-append
 	// one) matters for LIMIT 0, which must emit nothing at all.
@@ -50,6 +51,7 @@ func (ex *Executor) runStream(ctx context.Context, cc *compiledCore, outer *rowC
 		if target >= 0 && len(out.Rows) >= target {
 			return true, nil
 		}
+		visited++
 		if err := cancel.poll(); err != nil {
 			return false, err
 		}
@@ -94,6 +96,10 @@ func (ex *Executor) runStream(ctx context.Context, cc *compiledCore, outer *rowC
 		}
 	}
 	out.Rows = out.Rows[start:]
+	if ex.trace != nil {
+		ex.trace.addRows(ts.id, visited)
+		ex.trace.addRows(cc.id, int64(len(out.Rows)))
+	}
 	return out, nil
 }
 

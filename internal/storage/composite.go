@@ -23,9 +23,10 @@ import (
 
 // CompositeIndex is a hash index over an ordered tuple of columns.
 type CompositeIndex struct {
-	cols   []int
-	rows   int // relation rows covered; mismatch triggers a rebuild
-	groups map[string][]int32
+	cols    []int
+	rows    int // relation rows covered; mismatch triggers a rebuild
+	nonNull int // indexed rows (a NULL in any key column skips the row)
+	groups  map[string][]int32
 }
 
 // Lookup returns the positions of rows whose key columns encode to key, in
@@ -33,8 +34,16 @@ type CompositeIndex struct {
 // mutate it.
 func (ix *CompositeIndex) Lookup(key []byte) []int32 { return ix.groups[string(key)] }
 
-// Distinct returns the number of distinct fully-non-NULL key tuples.
+// Distinct returns the number of distinct fully-non-NULL key tuples. Like
+// ColumnIndex.Distinct, it returns 0 both for an empty table and when
+// every row holds a NULL in at least one key column; "no index exists" is
+// a nil *CompositeIndex from Composite, never a zero here. A non-nil
+// index with Distinct() == 0 proves no multi-key probe can match.
 func (ix *CompositeIndex) Distinct() int { return len(ix.groups) }
+
+// NonNull returns how many rows the index covers — rows whose every key
+// column is non-NULL (the sum of all bucket sizes).
+func (ix *CompositeIndex) NonNull() int { return ix.nonNull }
 
 func buildCompositeIndex(rel *sqltypes.Relation, cols []int) *CompositeIndex {
 	ix := &CompositeIndex{
@@ -50,6 +59,7 @@ func buildCompositeIndex(rel *sqltypes.Relation, cols []int) *CompositeIndex {
 			continue
 		}
 		ix.groups[string(key)] = append(ix.groups[string(key)], int32(ri))
+		ix.nonNull++
 	}
 	return ix
 }
@@ -62,6 +72,7 @@ func (ix *CompositeIndex) add(row sqltypes.Row, pos int) {
 		return
 	}
 	ix.groups[string(key)] = append(ix.groups[string(key)], int32(pos))
+	ix.nonNull++
 }
 
 // compositeKey encodes the key columns of a row, reporting ok=false for

@@ -32,9 +32,10 @@ import (
 // and as a prebuilt hash-join build side (groups row positions by key, the
 // exact shape execJoin otherwise rebuilds per execution).
 type ColumnIndex struct {
-	column int
-	rows   int // relation rows covered; mismatch triggers a rebuild
-	groups map[string][]int32
+	column  int
+	rows    int // relation rows covered; mismatch triggers a rebuild
+	nonNull int // indexed rows (NULL values are never indexed)
+	groups  map[string][]int32
 }
 
 // Lookup returns the positions of rows whose column value encodes to key,
@@ -42,9 +43,22 @@ type ColumnIndex struct {
 // mutate it. Probing with string(key) keeps the lookup allocation-free.
 func (ix *ColumnIndex) Lookup(key []byte) []int32 { return ix.groups[string(key)] }
 
-// Distinct returns the number of distinct non-NULL keys in the index; it
-// is introspection for tests and future cost-based access-path choices.
+// Distinct returns the number of distinct non-NULL keys in the index. It
+// returns 0 both for an empty table and for a column whose every value is
+// NULL — an index over either holds no buckets at all. Callers asking
+// "is there an index?" must test the *ColumnIndex for nil instead (Index
+// never returns a non-nil index for an unknown table or column): a
+// non-nil index with Distinct() == 0 is a real, up-to-date index that
+// proves no probe can match. The cost-based planner (internal/stats)
+// relies on exactly that reading — zero distinct keys means equality
+// selects nothing, not "unknown".
 func (ix *ColumnIndex) Distinct() int { return len(ix.groups) }
+
+// NonNull returns how many rows the index covers with a non-NULL value —
+// the sum of all bucket sizes. Together with Distinct it yields the
+// average bucket size NonNull/Distinct, the planner's equality
+// selectivity estimate.
+func (ix *ColumnIndex) NonNull() int { return ix.nonNull }
 
 func buildColumnIndex(rel *sqltypes.Relation, col int) *ColumnIndex {
 	ix := &ColumnIndex{
@@ -63,6 +77,7 @@ func buildColumnIndex(rel *sqltypes.Relation, col int) *ColumnIndex {
 		}
 		buf = key
 		ix.groups[string(key)] = append(ix.groups[string(key)], int32(ri))
+		ix.nonNull++
 	}
 	return ix
 }
@@ -78,6 +93,7 @@ func (ix *ColumnIndex) add(row sqltypes.Row, pos int) {
 		return
 	}
 	ix.groups[string(key)] = append(ix.groups[string(key)], int32(pos))
+	ix.nonNull++
 }
 
 // Index returns the hash index for one column of a table, building it on

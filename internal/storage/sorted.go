@@ -58,6 +58,24 @@ func (ix *SortedIndex) Positions() []int32 { return ix.pos }
 // values.
 func (ix *SortedIndex) NullCount() int { return ix.nulls }
 
+// Min returns the smallest non-NULL value in the index, ok=false when the
+// column holds no non-NULL values (empty table or all NULL).
+func (ix *SortedIndex) Min() (sqltypes.Value, bool) {
+	if ix.nulls >= len(ix.pos) {
+		return sqltypes.Null(), false
+	}
+	return ix.value(ix.pos[ix.nulls]), true
+}
+
+// Max returns the largest non-NULL value in the index, ok=false when the
+// column holds no non-NULL values.
+func (ix *SortedIndex) Max() (sqltypes.Value, bool) {
+	if ix.nulls >= len(ix.pos) {
+		return sqltypes.Null(), false
+	}
+	return ix.value(ix.pos[len(ix.pos)-1]), true
+}
+
 // Range returns the positions of rows whose non-NULL column value lies
 // within the given bounds, ordered by (value, position). A nil bound is
 // unbounded on that side; Incl selects <= / >= over < / >. NULL rows are

@@ -1,0 +1,42 @@
+// Per-column statistics for the cost-based planner, derived entirely from
+// the secondary indexes this package already maintains: the hash index
+// supplies NonNull and Distinct, the sorted index supplies the Min/Max
+// span. Deriving instead of counting separately means statistics inherit
+// the full index lifecycle for free — maintained on Insert, invalidated
+// with the indexes on Mutate, never shared with clones, and shared into
+// copy-on-write snapshots until the first divergent write. There is no
+// staleness to reason about: ColStats reads whatever the indexes say right
+// now, and the indexes are exact.
+package storage
+
+import "cyclesql/internal/stats"
+
+// ColStats returns planner statistics for one column of a table, building
+// the column's hash and sorted indexes on first use (the same lazy
+// double-checked build every probe uses — a query compiled with cost-based
+// planning warms the very indexes its plan will probe). It reports
+// ok=false only for unknown tables or out-of-range columns; an empty
+// table or an all-NULL column yields ok=true with zero counts, which the
+// estimators read as "equality selects nothing", not "unknown".
+func (db *Database) ColStats(table string, col int) (stats.Column, bool) {
+	rel := db.Table(table)
+	if rel == nil || col < 0 || col >= len(rel.Columns) {
+		return stats.Column{}, false
+	}
+	ix := db.Index(table, col)
+	sx := db.Sorted(table, col)
+	if ix == nil || sx == nil {
+		return stats.Column{}, false
+	}
+	c := stats.Column{
+		Rows:     len(rel.Rows),
+		NonNull:  ix.NonNull(),
+		Distinct: ix.Distinct(),
+	}
+	if minV, ok := sx.Min(); ok {
+		maxV, _ := sx.Max()
+		c.HasBounds = true
+		c.Min, c.Max = minV, maxV
+	}
+	return c, true
+}
